@@ -1,0 +1,387 @@
+(* Command-line driver: run individual paper experiments, optionally
+   exporting the data as CSV. `roothammer --help` lists commands. *)
+
+open Cmdliner
+
+let pf = Format.printf
+
+(* --- common options -------------------------------------------------------- *)
+
+let setup_logs verbose =
+  Fmt_tty.setup_std_outputs ();
+  Logs.set_reporter (Logs_fmt.reporter ());
+  Logs.set_level (if verbose then Some Logs.Debug else Some Logs.Warning)
+
+let verbose_arg =
+  Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Log VMM lifecycle events")
+
+let csv_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "csv" ] ~docv:"FILE" ~doc:"Also write the data as CSV to $(docv)")
+
+let write_csv path ~header rows =
+  let oc = open_out path in
+  output_string oc (String.concat "," header);
+  output_char oc '\n';
+  List.iter
+    (fun row ->
+      output_string oc (String.concat "," row);
+      output_char oc '\n')
+    rows;
+  close_out oc;
+  pf "wrote %s@." path
+
+let maybe_csv csv ~header rows =
+  Option.iter (fun path -> write_csv path ~header rows) csv
+
+let workload_arg =
+  let parse s =
+    match String.lowercase_ascii s with
+    | "ssh" -> Ok Rejuv.Scenario.Ssh
+    | "jboss" -> Ok Rejuv.Scenario.Jboss
+    | _ -> Error (`Msg "workload must be ssh or jboss")
+  in
+  let print ppf w = Format.fprintf ppf "%s" (Rejuv.Scenario.workload_name w) in
+  Arg.(
+    value
+    & opt (conv (parse, print)) Rejuv.Scenario.Ssh
+    & info [ "workload" ] ~doc:"Service in each VM: ssh or jboss")
+
+let strategy_arg =
+  let parse s =
+    match Rejuv.Strategy.of_string s with
+    | Some st -> Ok st
+    | None -> Error (`Msg "strategy must be warm, saved or cold")
+  in
+  Arg.(
+    value
+    & opt (conv (parse, Rejuv.Strategy.pp)) Rejuv.Strategy.Warm
+    & info [ "strategy" ] ~doc:"Reboot strategy: warm, saved or cold")
+
+let cmd name ~doc term = Cmd.v (Cmd.info name ~doc) term
+
+(* --- figure commands -------------------------------------------------------- *)
+
+let print_task_times rows ~x_label =
+  pf "%-6s %12s %12s %12s %12s %12s %12s@." x_label "onmem-susp" "onmem-res"
+    "xen-save" "xen-restore" "shutdown" "boot";
+  List.iter
+    (fun (r : Rejuv.Experiment.task_times) ->
+      pf "%-6d %12.2f %12.2f %12.2f %12.2f %12.2f %12.2f@." r.x
+        r.onmem_suspend_s r.onmem_resume_s r.xen_save_s r.xen_restore_s
+        r.shutdown_s r.boot_s)
+    rows
+
+let task_times_csv rows =
+  List.map
+    (fun (r : Rejuv.Experiment.task_times) ->
+      [
+        string_of_int r.x;
+        Printf.sprintf "%.3f" r.onmem_suspend_s;
+        Printf.sprintf "%.3f" r.onmem_resume_s;
+        Printf.sprintf "%.2f" r.xen_save_s;
+        Printf.sprintf "%.2f" r.xen_restore_s;
+        Printf.sprintf "%.2f" r.shutdown_s;
+        Printf.sprintf "%.2f" r.boot_s;
+      ])
+    rows
+
+let task_times_header x =
+  [ x; "onmem_suspend_s"; "onmem_resume_s"; "xen_save_s"; "xen_restore_s";
+    "shutdown_s"; "boot_s" ]
+
+let fig4_cmd =
+  let run verbose csv =
+    setup_logs verbose;
+    let rows = Rejuv.Experiment.fig4 () in
+    print_task_times rows ~x_label:"GiB";
+    maybe_csv csv ~header:(task_times_header "mem_gib") (task_times_csv rows)
+  in
+  cmd "fig4" ~doc:"Task times vs memory size of one VM"
+    Term.(const run $ verbose_arg $ csv_arg)
+
+let fig5_cmd =
+  let run verbose csv =
+    setup_logs verbose;
+    let rows = Rejuv.Experiment.fig5 () in
+    print_task_times rows ~x_label:"VMs";
+    maybe_csv csv ~header:(task_times_header "vm_count") (task_times_csv rows)
+  in
+  cmd "fig5" ~doc:"Task times vs number of VMs"
+    Term.(const run $ verbose_arg $ csv_arg)
+
+let reload_cmd =
+  let run verbose =
+    setup_logs verbose;
+    let r = Rejuv.Experiment.quick_reload_effect () in
+    pf "quick reload:   %6.1f s (paper: 11 s)@." r.quick_reload_s;
+    pf "hardware reset: %6.1f s (paper: 59 s)@." r.hardware_reset_s
+  in
+  cmd "reload" ~doc:"Section 5.2: effect of quick reload"
+    Term.(const run $ verbose_arg)
+
+let fig6_cmd =
+  let run verbose workload csv =
+    setup_logs verbose;
+    let rows = Rejuv.Experiment.fig6 ~workload () in
+    pf "%-6s %10s %10s %10s@." "VMs" "warm" "saved" "cold";
+    List.iter
+      (fun (r : Rejuv.Experiment.fig6_row) ->
+        pf "%-6d %10.1f %10.1f %10.1f@." r.n r.warm_downtime_s
+          r.saved_downtime_s r.cold_downtime_s)
+      rows;
+    maybe_csv csv
+      ~header:[ "vm_count"; "warm_s"; "saved_s"; "cold_s" ]
+      (List.map
+         (fun (r : Rejuv.Experiment.fig6_row) ->
+           [
+             string_of_int r.n;
+             Printf.sprintf "%.1f" r.warm_downtime_s;
+             Printf.sprintf "%.1f" r.saved_downtime_s;
+             Printf.sprintf "%.1f" r.cold_downtime_s;
+           ])
+         rows)
+  in
+  cmd "fig6" ~doc:"Downtime of networked services"
+    Term.(const run $ verbose_arg $ workload_arg $ csv_arg)
+
+let trace_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:
+          "Write the run's operation timeline as a Chrome trace \
+           (chrome://tracing, ui.perfetto.dev) to $(docv)")
+
+let fig7_cmd =
+  let run verbose strategy csv trace =
+    setup_logs verbose;
+    let r = Rejuv.Experiment.fig7 ~strategy () in
+    Option.iter
+      (fun path ->
+        let oc = open_out path in
+        output_string oc r.Rejuv.Experiment.chrome_trace_json;
+        close_out oc;
+        pf "wrote %s@." path)
+      trace;
+    pf "# %a; reboot command at t=%.0f s@." Rejuv.Strategy.pp r.f7_strategy
+      r.reboot_command_at;
+    (match (r.web_down_at, r.web_up_at) with
+    | Some d, Some u -> pf "# web server down %.1f .. %.1f s@." d u
+    | _ -> ());
+    List.iter
+      (fun (l, a, b) -> pf "# span %-28s %8.1f .. %8.1f@." l a b)
+      r.f7_spans;
+    List.iter (fun (t, v) -> pf "%8.1f %10.1f@." t v) r.throughput;
+    maybe_csv csv ~header:[ "time_s"; "req_per_s" ]
+      (List.map
+         (fun (t, v) ->
+           [ Printf.sprintf "%.2f" t; Printf.sprintf "%.1f" v ])
+         r.throughput)
+  in
+  cmd "fig7" ~doc:"Throughput timeline during the reboot"
+    Term.(const run $ verbose_arg $ strategy_arg $ csv_arg $ trace_arg)
+
+let fig8_cmd =
+  let run verbose strategy =
+    setup_logs verbose;
+    let file = Rejuv.Experiment.fig8_file ~strategy () in
+    let web = Rejuv.Experiment.fig8_web ~strategy () in
+    pf
+      "file read (MiB/s): before %.0f/%.0f after %.0f/%.0f  degradation %.0f%%@."
+      file.first_before file.second_before file.first_after file.second_after
+      (100.0 *. file.degradation);
+    pf
+      "web (req/s):       before %.0f/%.0f after %.0f/%.0f  degradation %.0f%%@."
+      web.first_before web.second_before web.first_after web.second_after
+      (100.0 *. web.degradation)
+  in
+  cmd "fig8" ~doc:"Throughput before/after the reboot"
+    Term.(const run $ verbose_arg $ strategy_arg)
+
+let fits_cmd =
+  let run verbose =
+    setup_logs verbose;
+    pf "%a" Rejuv.Downtime_model.pp (Rejuv.Experiment.section_5_6_fits ())
+  in
+  cmd "fits" ~doc:"Section 5.6: fitted downtime model"
+    Term.(const run $ verbose_arg)
+
+let avail_cmd =
+  let run verbose =
+    setup_logs verbose;
+    let os_downtime = Rejuv.Experiment.run_os_rejuvenation () in
+    pf "OS rejuvenation downtime: %.1f s (paper: 33.6 s)@." os_downtime;
+    let fig6 =
+      Rejuv.Experiment.fig6 ~vm_counts:[ 11 ] ~workload:Rejuv.Scenario.Jboss ()
+    in
+    let row = List.hd fig6 in
+    let table =
+      Rejuv.Experiment.availability_table ~os_downtime_s:os_downtime
+        ~vmm_downtimes:
+          [
+            (Rejuv.Strategy.Warm, row.warm_downtime_s);
+            (Rejuv.Strategy.Cold, row.cold_downtime_s);
+            (Rejuv.Strategy.Saved, row.saved_downtime_s);
+          ]
+        ()
+    in
+    List.iter
+      (fun (s, a) ->
+        pf "%-16s %a (%d nines)@." (Rejuv.Strategy.name s)
+          Rejuv.Availability.pp_percent a
+          (Rejuv.Availability.nines a))
+      table
+  in
+  cmd "avail" ~doc:"Section 5.3: availability" Term.(const run $ verbose_arg)
+
+let fig9_cmd =
+  let run verbose csv =
+    setup_logs verbose;
+    let p = Rejuv.Cluster.paper_params () in
+    let horizon = 2400.0 in
+    let all = ref [] in
+    let show name tl =
+      pf "# %s@." name;
+      List.iter
+        (fun (t, v) ->
+          all := [ name; Printf.sprintf "%.0f" t; Printf.sprintf "%.2f" v ]
+                 :: !all;
+          pf "%8.0f %8.2f@." t v)
+        tl;
+      pf "# lost capacity over %.0f s: %.1f host-seconds@." horizon
+        (Rejuv.Cluster.lost_capacity p tl ~horizon_s:horizon)
+    in
+    show "warm" (Rejuv.Cluster.warm_timeline p ~reboot_at:600.0);
+    show "cold" (Rejuv.Cluster.cold_timeline p ~reboot_at:600.0);
+    show "migration" (Rejuv.Cluster.migration_timeline p ~migrate_at:600.0);
+    maybe_csv csv ~header:[ "scheme"; "time_s"; "throughput" ] (List.rev !all)
+  in
+  cmd "fig9" ~doc:"Cluster throughput model"
+    Term.(const run $ verbose_arg $ csv_arg)
+
+let migrate_cmd =
+  let mem_arg =
+    Arg.(value & opt int 1 & info [ "mem-gib" ] ~doc:"VM memory in GiB")
+  in
+  let dirty_arg =
+    Arg.(
+      value & opt float 20.0
+      & info [ "dirty-mib" ] ~doc:"Dirty rate while running, MiB/s")
+  in
+  let run verbose mem_gib dirty_mib =
+    setup_logs verbose;
+    let p =
+      Rejuv.Migration.plan
+        ~mem_bytes:(Simkit.Units.gib mem_gib)
+        ~dirty_bytes_per_s:(dirty_mib *. 1048576.0)
+        ()
+    in
+    pf "pre-copy rounds:@.";
+    List.iteri
+      (fun i (bytes, duration) ->
+        pf "  round %2d: %8.1f MiB in %6.2f s@." (i + 1)
+          (Simkit.Units.bytes_to_mib bytes)
+          duration)
+      p.Rejuv.Migration.rounds;
+    pf "stop-and-copy: %.1f MiB, blackout %.2f s@."
+      (Simkit.Units.bytes_to_mib p.Rejuv.Migration.stop_copy_bytes)
+      p.Rejuv.Migration.downtime_s;
+    pf "total migration time: %.1f s@." p.Rejuv.Migration.total_s
+  in
+  cmd "migrate" ~doc:"Pre-copy live migration plan (Section 6)"
+    Term.(const run $ verbose_arg $ mem_arg $ dirty_arg)
+
+let schedule_cmd =
+  let duration_arg =
+    Arg.(
+      value & opt float 42.0
+      & info [ "duration" ] ~doc:"Rejuvenation outage length, seconds")
+  in
+  let run verbose duration =
+    setup_logs verbose;
+    (* A diurnal request-rate forecast, hour resolution. *)
+    let profile =
+      List.init 24 (fun h ->
+          let load =
+            if h < 7 then 80.0
+            else if h < 9 then 400.0
+            else if h < 18 then 900.0
+            else if h < 22 then 500.0
+            else 150.0
+          in
+          (float_of_int h *. 3600.0, load))
+    in
+    let start, cost =
+      Rejuv.Policy.Load.best_window profile ~duration
+        ~horizon:(24.0 *. 3600.0)
+    in
+    pf "best %.0f s rejuvenation window starts at %02d:%02d (displaces %.0f requests)@."
+      duration
+      (int_of_float (start /. 3600.0))
+      (int_of_float (Float.rem start 3600.0 /. 60.0))
+      cost;
+    pf "midday placement would displace %.0f@."
+      (Rejuv.Policy.Load.cost profile ~start:(12.0 *. 3600.0) ~duration)
+  in
+  cmd "schedule" ~doc:"Load-aware placement of the rejuvenation window"
+    Term.(const run $ verbose_arg $ duration_arg)
+
+let cluster_cmd =
+  let hosts_arg =
+    Arg.(value & opt int 4 & info [ "hosts" ] ~doc:"Cluster size")
+  in
+  let run verbose hosts strategy =
+    setup_logs verbose;
+    let c =
+      Rejuv.Cluster_sim.create ~hosts ~vms_per_host:3
+        ~vm_mem_bytes:(Simkit.Units.gib 1) ~workload:Rejuv.Scenario.Ssh ()
+    in
+    Rejuv.Cluster_sim.start c;
+    pf "%d hosts up; rolling %s under 100 req/s...@." hosts
+      (Rejuv.Strategy.name strategy);
+    let r = Rejuv.Cluster_sim.rolling_rejuvenation c ~strategy () in
+    pf "rolling cycle: %.1f s; per-host %s@."
+      r.Rejuv.Cluster_sim.total_elapsed_s
+      (String.concat " "
+         (List.map
+            (fun o -> Printf.sprintf "%.0fs" o)
+            r.Rejuv.Cluster_sim.per_host_outage_s));
+    pf "requests lost: %d of %d (%.1f %%)@." r.Rejuv.Cluster_sim.lost
+      r.Rejuv.Cluster_sim.offered
+      (100.0 *. r.Rejuv.Cluster_sim.loss_ratio)
+  in
+  cmd "cluster" ~doc:"Rolling rejuvenation across a simulated cluster"
+    Term.(const run $ verbose_arg $ hosts_arg $ strategy_arg)
+
+let report_cmd =
+  let n_arg =
+    Arg.(value & opt int 11 & info [ "n"; "vm-count" ] ~doc:"Number of VMs")
+  in
+  let run verbose n =
+    setup_logs verbose;
+    let r = Rejuv.Report.run ~vm_count:n () in
+    pf "%a" Rejuv.Report.pp r;
+    if not (Rejuv.Report.all_hold r) then exit 1
+  in
+  cmd "report" ~doc:"One-page paper-vs-measured reproduction report"
+    Term.(const run $ verbose_arg $ n_arg)
+
+let default = Term.(ret (const (`Help (`Pager, None))))
+
+let () =
+  let info =
+    Cmd.info "roothammer" ~version:Rejuv.Roothammer.version
+      ~doc:"Warm-VM reboot experiments (Kourai & Chiba, DSN 2007)"
+  in
+  exit
+    (Cmd.eval
+       (Cmd.group ~default info
+          [
+            fig4_cmd; fig5_cmd; reload_cmd; fig6_cmd; fig7_cmd; fig8_cmd;
+            fits_cmd; avail_cmd; fig9_cmd; migrate_cmd; schedule_cmd;
+            cluster_cmd; report_cmd;
+          ]))

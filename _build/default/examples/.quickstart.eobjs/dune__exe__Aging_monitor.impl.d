@@ -1,0 +1,1 @@
+examples/aging_monitor.ml: Format List Rejuv Simkit Xenvmm

@@ -1,0 +1,1 @@
+examples/cluster_rolling.ml: Array Float Format List Netsim Option Printf Rejuv Simkit Sys

@@ -1,0 +1,1 @@
+examples/consolidation.ml: Array Format List Netsim Rejuv Simkit Sys

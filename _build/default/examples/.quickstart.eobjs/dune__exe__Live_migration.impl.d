@@ -1,0 +1,1 @@
+examples/live_migration.ml: Array Format Guest Hw List Netsim Option Printf Rejuv Simkit Sys Xenvmm

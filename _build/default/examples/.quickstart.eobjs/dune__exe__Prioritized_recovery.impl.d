@@ -1,0 +1,1 @@
+examples/prioritized_recovery.ml: Float Format Guest Hw List Printf Simkit Xenvmm

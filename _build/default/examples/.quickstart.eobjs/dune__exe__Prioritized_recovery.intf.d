@@ -1,0 +1,1 @@
+examples/prioritized_recovery.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Format List Netsim Option Rejuv Simkit String Xenvmm

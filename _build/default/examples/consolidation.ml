@@ -1,0 +1,60 @@
+(* Server consolidation scenario: the paper's 11-VM testbed, comparing
+   all three rejuvenation strategies on downtime and on what survives
+   the reboot.
+
+   Run with: dune exec examples/consolidation.exe [vm_count] *)
+
+let pf = Format.printf
+
+let describe (run : Rejuv.Experiment.reboot_run) =
+  pf "%-16s  pre %7.1f s   vmm reboot %7.1f s   post %7.1f s   downtime %7.1f s@."
+    (Rejuv.Strategy.name run.strategy)
+    run.pre_task_s run.vmm_reboot_s run.post_task_s run.downtime_mean_s
+
+let () =
+  let vm_count =
+    if Array.length Sys.argv > 1 then int_of_string Sys.argv.(1) else 11
+  in
+  pf "Consolidated host: %d VMs x 1 GiB, JBoss application server in each@.@."
+    vm_count;
+
+  let runs =
+    List.map
+      (fun strategy ->
+        Rejuv.Experiment.run_reboot ~workload:Rejuv.Scenario.Jboss ~strategy
+          ~vm_count
+          ~vm_mem_bytes:(Simkit.Units.gib 1)
+          ())
+      Rejuv.Strategy.all
+  in
+  pf "pre = suspend/save/shutdown; post = resume/restore/boot@.";
+  List.iter describe runs;
+
+  (* What a client with an open ssh session experiences. *)
+  pf "@.TCP session survival (ssh client with a 60 s timeout):@.";
+  List.iter
+    (fun (run : Rejuv.Experiment.reboot_run) ->
+      let survives =
+        Netsim.Tcp.survives ~outage_s:run.downtime_mean_s
+          ~client_timeout_s:60.0 ()
+      in
+      pf "  %-16s outage %6.1f s -> session %s@."
+        (Rejuv.Strategy.name run.strategy)
+        run.downtime_mean_s
+        (if survives then "survives" else "dies");
+      if Rejuv.Strategy.restarts_services run.strategy then
+        pf "  %-16s (services were shut down: sessions lost regardless)@." "")
+    runs;
+
+  (* Availability under the paper's Section 5.3 maintenance schedule. *)
+  pf "@.Availability (weekly OS rejuvenation, VMM rejuvenation every 4 weeks):@.";
+  let vmm_downtimes =
+    List.map
+      (fun (r : Rejuv.Experiment.reboot_run) -> (r.strategy, r.downtime_mean_s))
+      runs
+  in
+  List.iter
+    (fun (s, a) ->
+      pf "  %-16s %a (%d nines)@." (Rejuv.Strategy.name s)
+        Rejuv.Availability.pp_percent a (Rejuv.Availability.nines a))
+    (Rejuv.Experiment.availability_table ~vmm_downtimes ())

@@ -1,0 +1,106 @@
+(* Rejuvenation by evacuation: live-migrate every VM to a spare host,
+   reboot the source VMM, and compare the cost against a warm-VM reboot
+   — the Section 6 trade-off, executed rather than estimated.
+
+   Run with: dune exec examples/live_migration.exe [vm_count] *)
+
+let pf = Format.printf
+
+let () =
+  let vm_count =
+    if Array.length Sys.argv > 1 then int_of_string Sys.argv.(1) else 5
+  in
+  pf "Rejuvenation by evacuation: %d VMs x 1 GiB, busy web workload@.@."
+    vm_count;
+
+  (* Two hosts on one engine: the production host and the spare. *)
+  let engine = Simkit.Engine.create () in
+  let host_a = Hw.Host.create engine in
+  let host_b = Hw.Host.create engine in
+  let vmm_a = Xenvmm.Vmm.create host_a in
+  let vmm_b = Xenvmm.Vmm.create host_b in
+  let up = ref 0 in
+  Xenvmm.Vmm.power_on vmm_a (fun () -> incr up);
+  Xenvmm.Vmm.power_on vmm_b (fun () -> incr up);
+  Simkit.Engine.run engine;
+  assert (!up = 2);
+
+  let kernels =
+    List.init vm_count (fun i ->
+        let name = Printf.sprintf "vm%02d" (i + 1) in
+        let d = ref None in
+        Xenvmm.Vmm.create_domain vmm_a ~name
+          ~mem_bytes:(Simkit.Units.gib 1) (fun r -> d := Some r);
+        Simkit.Engine.run engine;
+        match !d with
+        | Some (Ok dom) ->
+          let kernel = Guest.Kernel.create vmm_a dom () in
+          ignore (Guest.Sshd.install kernel);
+          let booted = ref false in
+          Guest.Kernel.boot kernel (fun () -> booted := true);
+          Simkit.Engine.run engine;
+          assert !booted;
+          kernel
+        | _ -> failwith "provisioning failed")
+  in
+  pf "host A carries %d VMs; host B is the (idle) migration spare@."
+    vm_count;
+
+  (* Probers watch every VM through the evacuation. *)
+  let probers =
+    List.map
+      (fun kernel ->
+        let p =
+          Netsim.Prober.create engine ~interval_s:0.05
+            ~name:(Xenvmm.Domain.name (Guest.Kernel.domain kernel))
+            ~is_up:(fun () ->
+              Guest.Kernel.is_running kernel
+              && List.for_all Guest.Service.is_up
+                   (Guest.Kernel.services kernel))
+            ()
+        in
+        Netsim.Prober.start p;
+        p)
+      kernels
+  in
+
+  let dirty = Rejuv.Migration.dirty_rate_of_workload
+      (Rejuv.Scenario.Web
+         { file_count = 0; file_bytes = 1; warm_cache = false })
+  in
+  let t0 = Simkit.Engine.now engine in
+  let finished = ref false in
+  Rejuv.Migration.evacuate ~src:vmm_a ~dst:vmm_b ~kernels
+    ~dirty_bytes_per_s:dirty (function
+    | Ok () ->
+      (* Source host empty: rejuvenate its VMM with a plain reboot. *)
+      Xenvmm.Vmm.shutdown_dom0 vmm_a (fun () ->
+          Xenvmm.Vmm.shutdown_vmm vmm_a (fun () ->
+              Xenvmm.Vmm.hardware_reset vmm_a (fun () ->
+                  Xenvmm.Vmm.boot_dom0 vmm_a (fun () -> finished := true))))
+    | Error e -> failwith (Xenvmm.Vmm.error_message e));
+  while (not !finished) && Simkit.Engine.step engine do () done;
+  Simkit.Engine.run ~until:(Simkit.Engine.now engine +. 2.0) engine;
+  List.iter Netsim.Prober.stop probers;
+  let elapsed = Simkit.Engine.now engine -. t0 in
+
+  pf "@.evacuation + source VMM reboot took %.1f min in total@."
+    (elapsed /. 60.0);
+  List.iter
+    (fun p ->
+      pf "  %s: blackout %.2f s (stop-and-copy only)@." (Netsim.Prober.name p)
+        (Option.value (Netsim.Prober.longest_outage p) ~default:0.0))
+    probers;
+  pf "host A rejuvenated (generation %d); all VMs now on host B: %d@."
+    (Xenvmm.Vmm.generation vmm_a)
+    (List.length (Xenvmm.Vmm.domus vmm_b));
+
+  (* The comparison the paper draws. *)
+  let warm =
+    Rejuv.Experiment.run_reboot ~strategy:Rejuv.Strategy.Warm ~vm_count
+      ~vm_mem_bytes:(Simkit.Units.gib 1) ()
+  in
+  pf "@.for contrast, a warm-VM reboot of the same host: one %.1f s outage,@."
+    warm.Rejuv.Experiment.downtime_mean_s;
+  pf "no spare host needed — but migration's per-VM blackout is ~100x \
+     smaller.@."

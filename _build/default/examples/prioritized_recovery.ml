@@ -1,0 +1,68 @@
+(* Prioritized recovery: when a cold reboot (or any mass boot) is
+   unavoidable, credit-scheduler weights decide who comes back first.
+   A critical VM with 4x weight gets most of the CPU complex during the
+   parallel boot storm and answers well before the batch VMs.
+
+   Run with: dune exec examples/prioritized_recovery.exe *)
+
+let pf = Format.printf
+
+let () =
+  let vm_count = 6 in
+  pf "Boot-storm recovery with credit-scheduler weights (%d VMs)@.@."
+    vm_count;
+  let engine = Simkit.Engine.create () in
+  let host = Hw.Host.create engine in
+  let vmm = Xenvmm.Vmm.create host in
+  let booted = ref false in
+  Xenvmm.Vmm.power_on vmm (fun () -> booted := true);
+  Simkit.Engine.run engine;
+  assert !booted;
+
+  let make name =
+    let r = ref None in
+    Xenvmm.Vmm.create_domain vmm ~name ~mem_bytes:(Simkit.Units.gib 1)
+      (fun x -> r := Some x);
+    Simkit.Engine.run engine;
+    match !r with
+    | Some (Ok d) ->
+      let kernel = Guest.Kernel.create vmm d () in
+      ignore (Guest.Sshd.install kernel);
+      (d, kernel)
+    | _ -> failwith "provision failed"
+  in
+  let vms =
+    List.init vm_count (fun i ->
+        let name =
+          if i = 0 then "critical" else Printf.sprintf "batch%d" i
+        in
+        (name, make name))
+  in
+  (* The critical VM gets 4x the scheduler weight (xm sched-credit -w). *)
+  let critical_dom = fst (snd (List.hd vms)) in
+  Xenvmm.Scheduler.set_params (Xenvmm.Vmm.scheduler vmm)
+    ~domid:(Xenvmm.Domain.id critical_dom)
+    { Xenvmm.Scheduler.weight = 1024; cap_percent = None };
+
+  (* The boot storm: everyone boots at once (post-cold-reboot shape). *)
+  let t0 = Simkit.Engine.now engine in
+  let results = ref [] in
+  List.iter
+    (fun (name, (_, kernel)) ->
+      Guest.Kernel.boot kernel (fun () ->
+          results := (name, Simkit.Engine.now engine -. t0) :: !results))
+    vms;
+  Simkit.Engine.run engine;
+
+  pf "%-10s %12s@." "VM" "up after";
+  List.iter
+    (fun (name, t) -> pf "%-10s %10.1f s@." name t)
+    (List.sort (fun (_, a) (_, b) -> Float.compare a b) !results);
+  let critical_t = List.assoc "critical" !results in
+  let worst =
+    List.fold_left (fun acc (_, t) -> Float.max acc t) 0.0 !results
+  in
+  pf "@.critical VM recovered %.1fx sooner than the slowest batch VM@."
+    (worst /. critical_t);
+  pf "(default weights would have everyone up together at ~%.1f s)@."
+    ((3.4 *. float_of_int vm_count) +. 2.8 +. 0.4)

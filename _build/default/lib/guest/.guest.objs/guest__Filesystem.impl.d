@@ -1,0 +1,1 @@
+lib/guest/filesystem.ml: Hw List Page_cache Printf Simkit Stdlib

@@ -1,0 +1,1 @@
+lib/guest/filesystem.mli: Hw Page_cache Simkit

@@ -1,0 +1,1 @@
+lib/guest/httpd.ml: Array Filesystem Hw Kernel List Printf Service Simkit

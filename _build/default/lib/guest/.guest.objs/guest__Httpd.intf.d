@@ -1,0 +1,1 @@
+lib/guest/httpd.mli: Filesystem Hw Kernel Service Simkit

@@ -1,0 +1,1 @@
+lib/guest/jboss.ml: Kernel Service

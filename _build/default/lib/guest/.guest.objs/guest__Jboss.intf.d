@@ -1,0 +1,1 @@
+lib/guest/jboss.mli: Kernel Service

@@ -1,0 +1,1 @@
+lib/guest/kernel.ml: Filesystem Hw List Page_cache Service Simkit Xenvmm

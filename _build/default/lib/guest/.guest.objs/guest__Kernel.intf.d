@@ -1,0 +1,1 @@
+lib/guest/kernel.mli: Filesystem Page_cache Service Simkit Xenvmm

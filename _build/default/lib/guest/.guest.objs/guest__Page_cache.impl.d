@@ -1,0 +1,1 @@
+lib/guest/page_cache.ml: Hashtbl List Simkit

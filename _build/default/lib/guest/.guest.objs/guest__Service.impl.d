@@ -1,0 +1,1 @@
+lib/guest/service.ml: List Simkit

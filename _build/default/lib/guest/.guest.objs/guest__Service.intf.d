@@ -1,0 +1,1 @@
+lib/guest/service.mli: Simkit

@@ -1,0 +1,1 @@
+lib/guest/sshd.ml: Kernel Service

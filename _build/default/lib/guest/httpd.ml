@@ -1,0 +1,67 @@
+let spec =
+  {
+    Service.service_name = "httpd";
+    start_shared_work = 0.2;
+    start_private_s = 0.5;
+    stop_private_s = 0.5;
+  }
+
+type t = {
+  kernel : Kernel.t;
+  svc : Service.t;
+  nic : Hw.Nic.t;
+  engine : Simkit.Engine.t;
+  response_overhead_s : float;
+  mutable docs : Filesystem.file array;
+  mutable served : int;
+}
+
+let install kernel ~nic ?(response_overhead_s = 0.0005) () =
+  let svc = Kernel.make_service kernel spec in
+  {
+    kernel;
+    svc;
+    nic;
+    engine = Kernel.engine kernel;
+    response_overhead_s;
+    docs = [||];
+    served = 0;
+  }
+
+let service t = t.svc
+
+let populate t ~file_count ~file_bytes =
+  let fs = Kernel.filesystem t.kernel in
+  let files =
+    List.init file_count (fun i ->
+        Filesystem.create_file fs
+          ~name:(Printf.sprintf "doc-%05d.html" i)
+          ~bytes:file_bytes ())
+  in
+  t.docs <- Array.of_list files;
+  files
+
+let documents t = Array.to_list t.docs
+
+let warm_all t =
+  let fs = Kernel.filesystem t.kernel in
+  Array.iter (fun f -> Filesystem.warm_file fs f) t.docs
+
+let handle_request t ?file ~rng k =
+  if not (Kernel.service_reachable t.kernel t.svc) then k false
+  else if Array.length t.docs = 0 && file = None then k false
+  else begin
+    let f =
+      match file with
+      | Some f -> f
+      | None -> t.docs.(Simkit.Rng.int rng (Array.length t.docs))
+    in
+    let fs = Kernel.filesystem t.kernel in
+    Filesystem.read fs f ~access:Filesystem.Random (fun () ->
+        Simkit.Process.delay t.engine t.response_overhead_s (fun () ->
+            Hw.Nic.transfer t.nic ~bytes:(Filesystem.file_bytes f) (fun () ->
+                t.served <- t.served + 1;
+                k true)))
+  end
+
+let requests_served t = t.served

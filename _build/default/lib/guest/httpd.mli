@@ -1,0 +1,37 @@
+(** Apache HTTP server model.
+
+    Serves files from the guest filesystem through the page cache and
+    ships responses over the host NIC. When every requested file is
+    resident the server is network-bound; right after a cold reboot the
+    cache is empty and every request pays a scattered disk read — the
+    69 % throughput drop of Figure 8b. *)
+
+val spec : Service.spec
+
+type t
+
+val install :
+  Kernel.t -> nic:Hw.Nic.t -> ?response_overhead_s:float -> unit -> t
+(** Create an Apache instance on the kernel, registered as a service.
+    [response_overhead_s] models per-request server CPU (default
+    0.5 ms). *)
+
+val service : t -> Service.t
+
+val populate :
+  t -> file_count:int -> file_bytes:int -> Filesystem.file list
+(** Create the document tree ("10,000 files of 512 KB"). *)
+
+val documents : t -> Filesystem.file list
+
+val warm_all : t -> unit
+(** Preload every document into the page cache. *)
+
+val handle_request :
+  t -> ?file:Filesystem.file -> rng:Simkit.Rng.t -> (bool -> unit) -> unit
+(** Serve one request for [file] (default: uniformly random document).
+    The continuation receives [false] immediately when the server is
+    unreachable (VM suspended / service down / no documents), [true]
+    when the response has fully left the NIC. *)
+
+val requests_served : t -> int

@@ -1,0 +1,101 @@
+type spec = {
+  service_name : string;
+  start_shared_work : float;
+  start_private_s : float;
+  stop_private_s : float;
+}
+
+type state = Down | Starting | Up | Stopping
+
+let state_name = function
+  | Down -> "down"
+  | Starting -> "starting"
+  | Up -> "up"
+  | Stopping -> "stopping"
+
+type t = {
+  engine : Simkit.Engine.t;
+  cpu : Simkit.Resource.t;
+  svc_spec : spec;
+  mutable svc_state : state;
+  mutable observers : (state -> unit) list;
+  mutable history : (float * state) list; (* newest first *)
+}
+
+let create engine ~cpu spec =
+  {
+    engine;
+    cpu;
+    svc_spec = spec;
+    svc_state = Down;
+    observers = [];
+    history = [ (0.0, Down) ];
+  }
+
+let spec t = t.svc_spec
+let name t = t.svc_spec.service_name
+let state t = t.svc_state
+let is_up t = t.svc_state = Up
+
+let set_state t s =
+  if t.svc_state <> s then begin
+    t.svc_state <- s;
+    t.history <- (Simkit.Engine.now t.engine, s) :: t.history;
+    List.iter (fun f -> f s) (List.rev t.observers)
+  end
+
+let on_transition t f = t.observers <- f :: t.observers
+
+let start t k =
+  match t.svc_state with
+  | Up | Starting -> k ()
+  | Down | Stopping ->
+    set_state t Starting;
+    let finish () =
+      Simkit.Process.delay t.engine t.svc_spec.start_private_s (fun () ->
+          set_state t Up;
+          k ())
+    in
+    if t.svc_spec.start_shared_work > 0.0 then
+      ignore
+        (Simkit.Resource.submit t.cpu ~work:t.svc_spec.start_shared_work
+           finish)
+    else finish ()
+
+let stop t k =
+  match t.svc_state with
+  | Down | Stopping -> k ()
+  | Up | Starting ->
+    set_state t Stopping;
+    Simkit.Process.delay t.engine t.svc_spec.stop_private_s (fun () ->
+        set_state t Down;
+        k ())
+
+let kill t = set_state t Down
+
+let force_up t = set_state t Up
+
+let transitions t = List.rev t.history
+
+let total_downtime t ~since ~now =
+  if now < since then invalid_arg "Service.total_downtime: empty window";
+  (* Fold over transitions, accumulating time not spent Up. *)
+  let events = transitions t in
+  let state_at time =
+    List.fold_left
+      (fun acc (tr_time, s) -> if tr_time <= time then s else acc)
+      Down events
+  in
+  let relevant =
+    List.filter (fun (tr_time, _) -> tr_time > since && tr_time <= now) events
+  in
+  let rec go acc cursor cur_state = function
+    | [] ->
+      if cur_state = Up then acc else acc +. (now -. cursor)
+    | (tr_time, s) :: rest ->
+      let acc =
+        if cur_state = Up then acc else acc +. (tr_time -. cursor)
+      in
+      go acc tr_time s rest
+  in
+  go 0.0 since (state_at since) relevant

@@ -1,0 +1,9 @@
+let spec =
+  {
+    Service.service_name = "sshd";
+    start_shared_work = 0.05;
+    start_private_s = 0.35;
+    stop_private_s = 0.3;
+  }
+
+let install kernel = Kernel.make_service kernel spec

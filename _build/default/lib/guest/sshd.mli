@@ -1,0 +1,11 @@
+(** OpenSSH server model.
+
+    A light service: near-instant start and stop. Used in the paper's
+    Figure 6a downtime measurements and for the TCP session-survival
+    discussion (a suspended sshd's sessions survive short outages via
+    retransmission; an sshd that was shut down loses them). *)
+
+val spec : Service.spec
+
+val install : Kernel.t -> Service.t
+(** Create an sshd on the kernel and register it. *)

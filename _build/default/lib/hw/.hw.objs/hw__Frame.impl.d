@@ -1,0 +1,1 @@
+lib/hw/frame.ml: Format List Printf Simkit

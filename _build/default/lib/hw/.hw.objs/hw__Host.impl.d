@@ -1,0 +1,1 @@
+lib/hw/host.ml: Bios Disk Memory Nic Simkit

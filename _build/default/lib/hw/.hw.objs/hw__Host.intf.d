@@ -1,0 +1,1 @@
+lib/hw/host.mli: Bios Disk Memory Nic Simkit

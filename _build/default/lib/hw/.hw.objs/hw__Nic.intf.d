@@ -1,0 +1,1 @@
+lib/hw/nic.mli: Simkit

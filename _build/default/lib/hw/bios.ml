@@ -1,0 +1,18 @@
+type t = {
+  base_s : float;
+  memory_check_s_per_gib : float;
+  scsi_init_s : float;
+}
+
+let v ~base_s ~memory_check_s_per_gib ~scsi_init_s =
+  if base_s < 0.0 || memory_check_s_per_gib < 0.0 || scsi_init_s < 0.0 then
+    invalid_arg "Bios.v: negative component";
+  { base_s; memory_check_s_per_gib; scsi_init_s }
+
+(* 5 + 3*12 + 6 = 47 s on the 12 GiB testbed. *)
+let default = v ~base_s:5.0 ~memory_check_s_per_gib:3.0 ~scsi_init_s:6.0
+
+let post_time t ~mem_bytes =
+  t.base_s
+  +. (t.memory_check_s_per_gib *. Simkit.Units.bytes_to_gib mem_bytes)
+  +. t.scsi_init_s

@@ -1,0 +1,19 @@
+(** BIOS / hardware-reset timing model.
+
+    A hardware reset runs power-on self-test: a memory check proportional
+    to installed RAM plus SCSI controller initialization. With the
+    paper's 12 GB machine this totals the 47 seconds reported as
+    [reset_hw] in Section 5.6. Quick reload bypasses all of it. *)
+
+type t = {
+  base_s : float;  (** firmware init before POST proper *)
+  memory_check_s_per_gib : float;
+  scsi_init_s : float;
+}
+
+val default : t
+(** Calibrated to [post_time ~mem_bytes:12GiB = 47 s]. *)
+
+val post_time : t -> mem_bytes:int -> float
+
+val v : base_s:float -> memory_check_s_per_gib:float -> scsi_init_s:float -> t

@@ -1,0 +1,85 @@
+type t = {
+  disk_name : string;
+  spindle : Simkit.Resource.t;
+  read_bytes_per_s : float;
+  write_bytes_per_s : float;
+  seek_s : float;
+  random_penalty : float;
+  capacity : int;
+  mutable used : int;
+  mutable total_read : int;
+  mutable total_written : int;
+}
+
+let mib = 1048576.0
+
+let create engine ?(name = "disk0") ~read_mib_per_s ~write_mib_per_s ~seek_ms
+    ?(random_penalty = 1.5) ?(capacity_bytes = 36_700_000_000) () =
+  if read_mib_per_s <= 0.0 || write_mib_per_s <= 0.0 then
+    invalid_arg "Disk.create: non-positive bandwidth";
+  if capacity_bytes <= 0 then invalid_arg "Disk.create: non-positive capacity";
+  {
+    disk_name = name;
+    (* Capacity 1.0: the resource serves one "disk second" per second. *)
+    spindle = Simkit.Resource.create engine ~name ~capacity:1.0;
+    read_bytes_per_s = read_mib_per_s *. mib;
+    write_bytes_per_s = write_mib_per_s *. mib;
+    seek_s = seek_ms /. 1000.0;
+    random_penalty;
+    capacity = capacity_bytes;
+    used = 0;
+    total_read = 0;
+    total_written = 0;
+  }
+
+let name t = t.disk_name
+
+let transfer_work t ~bytes ~rate ~random ~ops =
+  (* A transfer loses sequentiality either because the access pattern is
+     random or because other streams are interleaved on the spindle. *)
+  let interleaved = Simkit.Resource.active_jobs t.spindle > 0 in
+  let penalty = if random || interleaved then t.random_penalty else 1.0 in
+  (float_of_int bytes *. penalty /. rate) +. (float_of_int ops *. t.seek_s)
+
+let read t ~bytes ?(random = false) ?(ops = 1) k =
+  if bytes < 0 then invalid_arg "Disk.read: negative size";
+  let work =
+    transfer_work t ~bytes ~rate:t.read_bytes_per_s ~random ~ops
+  in
+  t.total_read <- t.total_read + bytes;
+  ignore (Simkit.Resource.submit t.spindle ~work k)
+
+let write t ~bytes ?(random = false) ?(ops = 1) k =
+  if bytes < 0 then invalid_arg "Disk.write: negative size";
+  let work =
+    transfer_work t ~bytes ~rate:t.write_bytes_per_s ~random ~ops
+  in
+  t.total_written <- t.total_written + bytes;
+  ignore (Simkit.Resource.submit t.spindle ~work k)
+
+let sequential_read_time t ~bytes =
+  transfer_work t ~bytes ~rate:t.read_bytes_per_s ~random:false ~ops:1
+
+let sequential_write_time t ~bytes =
+  transfer_work t ~bytes ~rate:t.write_bytes_per_s ~random:false ~ops:1
+
+let busy_time t = Simkit.Resource.busy_time t.spindle
+let bytes_read t = t.total_read
+let bytes_written t = t.total_written
+
+let capacity_bytes t = t.capacity
+let space_used_bytes t = t.used
+let space_free_bytes t = t.capacity - t.used
+
+let allocate_space t ~bytes =
+  if bytes < 0 then invalid_arg "Disk.allocate_space: negative size";
+  if bytes > space_free_bytes t then Error `Disk_full
+  else begin
+    t.used <- t.used + bytes;
+    Ok ()
+  end
+
+let release_space t ~bytes =
+  if bytes < 0 || bytes > t.used then
+    invalid_arg "Disk.release_space: bad size";
+  t.used <- t.used - bytes

@@ -1,0 +1,1 @@
+lib/netsim/balancer.ml: List Simkit

@@ -1,0 +1,1 @@
+lib/netsim/httperf.ml: Float List Simkit

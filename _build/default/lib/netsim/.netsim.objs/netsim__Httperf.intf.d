@@ -1,0 +1,1 @@
+lib/netsim/httperf.mli: Simkit

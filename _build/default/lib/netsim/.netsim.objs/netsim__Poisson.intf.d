@@ -1,0 +1,1 @@
+lib/netsim/poisson.mli: Simkit

@@ -1,0 +1,1 @@
+lib/netsim/prober.ml: Float List Simkit

@@ -1,0 +1,59 @@
+type host = {
+  hname : string;
+  capacity : float;
+  mutable up : bool;
+  mutable factor : float;
+}
+
+type t = {
+  engine : Simkit.Engine.t;
+  mutable members : host list; (* newest first *)
+  mutable sampling : bool;
+}
+
+let create engine () = { engine; members = []; sampling = false }
+
+let add_host t ~name ~capacity =
+  if capacity < 0.0 then invalid_arg "Balancer.add_host: negative capacity";
+  let h = { hname = name; capacity; up = true; factor = 1.0 } in
+  t.members <- h :: t.members;
+  h
+
+let hosts t = List.rev t.members
+let host_name h = h.hname
+let host_capacity h = h.capacity
+
+let set_down h = h.up <- false
+
+let set_up h =
+  h.up <- true;
+  h.factor <- 1.0
+
+let set_degraded h ~factor =
+  if factor < 0.0 || factor > 1.0 then
+    invalid_arg "Balancer.set_degraded: factor outside [0, 1]";
+  h.factor <- factor
+
+let is_up h = h.up
+
+let effective_capacity h = if h.up then h.capacity *. h.factor else 0.0
+
+let total_throughput t =
+  List.fold_left (fun acc h -> acc +. effective_capacity h) 0.0 t.members
+
+let start_sampling t ~interval_s =
+  if interval_s <= 0.0 then invalid_arg "Balancer.start_sampling: interval";
+  let series = Simkit.Series.create ~name:"cluster-throughput" () in
+  t.sampling <- true;
+  let rec tick () =
+    if t.sampling then begin
+      Simkit.Series.add series
+        ~time:(Simkit.Engine.now t.engine)
+        (total_throughput t);
+      ignore (Simkit.Engine.schedule t.engine ~delay:interval_s tick)
+    end
+  in
+  tick ();
+  series
+
+let stop_sampling t = t.sampling <- false

@@ -1,0 +1,38 @@
+(** Cluster load balancer (Section 6's setting).
+
+    [m] hosts provide the same service behind a dispatcher; each host
+    contributes capacity [p] when healthy, less while degraded (cache
+    refill, migration overhead), nothing while rebooting. The balancer
+    samples the cluster's deliverable throughput over time — the series
+    Figure 9 sketches. *)
+
+type t
+
+type host
+
+val create : Simkit.Engine.t -> unit -> t
+
+val add_host : t -> name:string -> capacity:float -> host
+
+val hosts : t -> host list
+val host_name : host -> string
+val host_capacity : host -> float
+
+val set_down : host -> unit
+val set_up : host -> unit
+
+val set_degraded : host -> factor:float -> unit
+(** Host serves [factor * capacity] (0 <= factor <= 1). *)
+
+val is_up : host -> bool
+
+val effective_capacity : host -> float
+
+val total_throughput : t -> float
+(** Sum of effective capacities right now. *)
+
+val start_sampling : t -> interval_s:float -> Simkit.Series.t
+(** Begin recording [total_throughput] every interval into a fresh
+    series (runs until the engine stops or {!stop_sampling}). *)
+
+val stop_sampling : t -> unit

@@ -1,0 +1,78 @@
+type t = {
+  engine : Simkit.Engine.t;
+  gen_name : string;
+  connections : int;
+  retry_backoff_s : float;
+  request : (bool -> unit) -> unit;
+  mutable running : bool;
+  mutable ok : int;
+  mutable errors : int;
+  events : Simkit.Series.Counter.t;
+  mutable completion_times : float list; (* newest first *)
+}
+
+let create engine ?(name = "httperf") ?(connections = 10)
+    ?(retry_backoff_s = 0.5) ~request () =
+  if connections <= 0 then invalid_arg "Httperf.create: connections <= 0";
+  {
+    engine;
+    gen_name = name;
+    connections;
+    retry_backoff_s;
+    request;
+    running = false;
+    ok = 0;
+    errors = 0;
+    events = Simkit.Series.Counter.create ~name ();
+    completion_times = [];
+  }
+
+let rec connection_loop t =
+  if t.running then
+    t.request (fun success ->
+        let now = Simkit.Engine.now t.engine in
+        if success then begin
+          t.ok <- t.ok + 1;
+          Simkit.Series.Counter.record t.events ~time:now;
+          t.completion_times <- now :: t.completion_times;
+          connection_loop t
+        end
+        else begin
+          t.errors <- t.errors + 1;
+          ignore
+            (Simkit.Engine.schedule t.engine ~delay:t.retry_backoff_s
+               (fun () -> connection_loop t))
+        end)
+
+let start t =
+  if not t.running then begin
+    t.running <- true;
+    for _ = 1 to t.connections do
+      connection_loop t
+    done
+  end
+
+let stop t = t.running <- false
+
+let completed t = t.ok
+let failed t = t.errors
+let counter t = t.events
+
+let throughput_between t ~lo ~hi =
+  Simkit.Series.Counter.rate_between t.events ~lo ~hi
+
+let mean_window_throughput t ~every =
+  if every <= 0 then invalid_arg "Httperf.mean_window_throughput: every <= 0";
+  let times = List.rev t.completion_times in
+  let rec blocks acc start_time count = function
+    | [] -> List.rev acc
+    | time :: rest ->
+      let count = count + 1 in
+      if count = every then
+        let rate = float_of_int every /. Float.max (time -. start_time) 1e-9 in
+        blocks ((time, rate) :: acc) time 0 rest
+      else blocks acc start_time count rest
+  in
+  match times with
+  | [] -> []
+  | first :: _ -> blocks [] first 0 times

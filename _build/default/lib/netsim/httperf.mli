@@ -1,0 +1,39 @@
+(** httperf-style closed-loop load generator.
+
+    Runs a fixed number of concurrent connections; each issues a request,
+    waits for the full response, and immediately issues the next. Failed
+    requests (server unreachable) are retried after a short backoff, so
+    the generator rides through reboots and the throughput series shows
+    the outage and the post-reboot recovery — Figure 7's methodology. *)
+
+type t
+
+val create :
+  Simkit.Engine.t ->
+  ?name:string ->
+  ?connections:int ->
+  ?retry_backoff_s:float ->
+  request:((bool -> unit) -> unit) ->
+  unit ->
+  t
+(** [request k] must eventually call [k success]. [connections]
+    defaults to 10 (the paper's 10 httperf processes). *)
+
+val start : t -> unit
+val stop : t -> unit
+(** In-flight requests complete but no new ones are issued. *)
+
+val completed : t -> int
+val failed : t -> int
+
+val counter : t -> Simkit.Series.Counter.t
+(** Completion events; use [rate_series] for the throughput timeline. *)
+
+val throughput_between : t -> lo:float -> hi:float -> float
+(** Completed requests per second over a window. *)
+
+val mean_window_throughput :
+  t -> every:int -> (float * float) list
+(** Average throughput of each consecutive block of [every] completed
+    requests, as (block end time, requests/s) — the paper's "average
+    throughput of 50 requests" reporting. *)

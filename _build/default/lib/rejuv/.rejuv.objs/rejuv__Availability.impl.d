@@ -1,0 +1,1 @@
+lib/rejuv/availability.ml: Float Format Simkit Strategy

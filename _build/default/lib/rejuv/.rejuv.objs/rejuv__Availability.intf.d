@@ -1,0 +1,1 @@
+lib/rejuv/availability.mli: Format Strategy

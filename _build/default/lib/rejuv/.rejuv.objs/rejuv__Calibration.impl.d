@@ -1,0 +1,1 @@
+lib/rejuv/calibration.ml: Guest Hw Simkit Stdlib Xenvmm

@@ -1,0 +1,1 @@
+lib/rejuv/calibration.mli: Guest Hw Xenvmm

@@ -1,0 +1,1 @@
+lib/rejuv/cluster.ml: Float List Strategy

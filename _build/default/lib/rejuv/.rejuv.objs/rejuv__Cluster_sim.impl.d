@@ -1,0 +1,1 @@
+lib/rejuv/cluster_sim.ml: Array Calibration List Netsim Printf Roothammer Scenario Simkit Strategy

@@ -1,0 +1,1 @@
+lib/rejuv/cluster_sim.mli: Calibration Netsim Scenario Simkit Strategy

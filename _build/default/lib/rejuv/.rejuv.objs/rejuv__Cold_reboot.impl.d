@@ -1,0 +1,1 @@
+lib/rejuv/cold_reboot.ml: Calibration Guest List Scenario Simkit Xenvmm

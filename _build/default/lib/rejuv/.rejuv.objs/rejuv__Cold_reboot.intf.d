@@ -1,0 +1,1 @@
+lib/rejuv/cold_reboot.mli: Scenario Simkit

@@ -1,0 +1,1 @@
+lib/rejuv/downtime_model.ml: Format Simkit

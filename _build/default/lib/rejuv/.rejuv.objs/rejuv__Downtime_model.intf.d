@@ -1,0 +1,1 @@
+lib/rejuv/downtime_model.mli: Format Simkit

@@ -1,0 +1,1 @@
+lib/rejuv/experiment.ml: Availability Cold_reboot Downtime_model Float Guest List Netsim Option Printf Saved_reboot Scenario Simkit Strategy String Warm_reboot Xenvmm

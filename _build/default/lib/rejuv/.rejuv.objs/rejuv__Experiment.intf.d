@@ -1,0 +1,1 @@
+lib/rejuv/experiment.mli: Calibration Downtime_model Scenario Strategy

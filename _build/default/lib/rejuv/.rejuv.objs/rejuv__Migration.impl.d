@@ -1,0 +1,1 @@
+lib/rejuv/migration.ml: Guest Hw List Scenario Simkit Stdlib Xenvmm

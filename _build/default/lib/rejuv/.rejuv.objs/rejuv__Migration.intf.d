@@ -1,0 +1,1 @@
+lib/rejuv/migration.mli: Guest Scenario Xenvmm

@@ -1,0 +1,1 @@
+lib/rejuv/policy.ml: Float List Strategy Xenvmm

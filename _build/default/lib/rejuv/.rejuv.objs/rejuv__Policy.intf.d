@@ -1,0 +1,1 @@
+lib/rejuv/policy.mli: Strategy Xenvmm

@@ -1,0 +1,1 @@
+lib/rejuv/report.ml: Availability Experiment Format List Printf Simkit Strategy

@@ -1,0 +1,1 @@
+lib/rejuv/report.mli: Format

@@ -1,0 +1,1 @@
+lib/rejuv/roothammer.ml: Cold_reboot Saved_reboot Scenario Simkit Strategy Warm_reboot

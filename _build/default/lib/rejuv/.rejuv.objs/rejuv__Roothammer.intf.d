@@ -1,0 +1,1 @@
+lib/rejuv/roothammer.mli: Scenario Simkit Strategy

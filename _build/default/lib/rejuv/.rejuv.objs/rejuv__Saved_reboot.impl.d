@@ -1,0 +1,1 @@
+lib/rejuv/saved_reboot.ml: Calibration List Scenario Simkit Xenvmm

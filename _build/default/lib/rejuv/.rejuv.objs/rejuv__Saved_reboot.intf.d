@@ -1,0 +1,1 @@
+lib/rejuv/saved_reboot.mli: Scenario Simkit

@@ -1,0 +1,1 @@
+lib/rejuv/scenario.ml: Calibration Guest Hw List Netsim Printf Simkit Xenvmm

@@ -1,0 +1,1 @@
+lib/rejuv/scenario.mli: Calibration Guest Hw Netsim Simkit Xenvmm

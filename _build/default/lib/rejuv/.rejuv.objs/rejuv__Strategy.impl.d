@@ -1,0 +1,1 @@
+lib/rejuv/strategy.ml: Format String

@@ -1,0 +1,1 @@
+lib/rejuv/strategy.mli: Format

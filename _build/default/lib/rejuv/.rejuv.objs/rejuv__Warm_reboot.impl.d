@@ -1,0 +1,1 @@
+lib/rejuv/warm_reboot.ml: Calibration Guest Hw List Scenario Simkit Xenvmm

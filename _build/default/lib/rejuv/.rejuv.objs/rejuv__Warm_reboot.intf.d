@@ -1,0 +1,1 @@
+lib/rejuv/warm_reboot.mli: Scenario Simkit

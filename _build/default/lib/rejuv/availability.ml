@@ -1,0 +1,48 @@
+type params = {
+  os_rejuv_interval_s : float;
+  os_rejuv_downtime_s : float;
+  vmm_rejuv_interval_s : float;
+  vmm_rejuv_downtime_s : float;
+  alpha : float;
+  strategy : Strategy.t;
+}
+
+let paper_example strategy ~vmm_downtime_s =
+  {
+    os_rejuv_interval_s = Simkit.Units.weeks 1.0;
+    os_rejuv_downtime_s = 33.6;
+    vmm_rejuv_interval_s = Simkit.Units.weeks 4.0;
+    vmm_rejuv_downtime_s = vmm_downtime_s;
+    alpha = 0.5;
+    strategy;
+  }
+
+let validate p =
+  if p.os_rejuv_interval_s <= 0.0 || p.vmm_rejuv_interval_s <= 0.0 then
+    invalid_arg "Availability: non-positive interval";
+  if p.alpha <= 0.0 || p.alpha > 1.0 then
+    invalid_arg "Availability: alpha outside (0, 1]"
+
+let downtime_per_vmm_interval p =
+  validate p;
+  let os_rejuvenations = p.vmm_rejuv_interval_s /. p.os_rejuv_interval_s in
+  (* A cold VMM reboot doubles as an OS rejuvenation, cancelling the
+     [alpha] fraction of one scheduled OS reboot. *)
+  let os_count =
+    if Strategy.restarts_services p.strategy then os_rejuvenations -. p.alpha
+    else os_rejuvenations
+  in
+  (os_count *. p.os_rejuv_downtime_s) +. p.vmm_rejuv_downtime_s
+
+let availability p =
+  let down = downtime_per_vmm_interval p in
+  1.0 -. (down /. p.vmm_rejuv_interval_s)
+
+let nines a =
+  if a >= 1.0 then invalid_arg "Availability.nines: availability >= 1";
+  if a <= 0.0 then 0
+  else
+    let u = 1.0 -. a in
+    int_of_float (Float.floor (-.log10 u +. 1e-9))
+
+let pp_percent ppf a = Format.fprintf ppf "%.3f %%" (a *. 100.0)

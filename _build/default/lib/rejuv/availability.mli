@@ -1,0 +1,34 @@
+(** Availability arithmetic for combined OS + VMM rejuvenation
+    (Section 5.3's example).
+
+    OS rejuvenation is time-based at a fixed interval; VMM rejuvenation
+    happens every [vmm_rejuv_interval_s]. With the cold-VM reboot the
+    VMM rejuvenation *includes* an OS reboot, so the OS clock restarts
+    and a fraction [alpha] of one OS rejuvenation is saved per VMM
+    rejuvenation; warm and saved reboots leave the OS schedule alone. *)
+
+type params = {
+  os_rejuv_interval_s : float;
+  os_rejuv_downtime_s : float;
+  vmm_rejuv_interval_s : float;
+  vmm_rejuv_downtime_s : float;
+  alpha : float;
+      (** Expected elapsed fraction of the OS interval when the VMM
+          rejuvenation lands (0 < alpha <= 1). *)
+  strategy : Strategy.t;
+}
+
+val paper_example : Strategy.t -> vmm_downtime_s:float -> params
+(** Weekly OS rejuvenation at 33.6 s, VMM rejuvenation every 4 weeks,
+    alpha = 0.5 — the Section 5.3 setting. *)
+
+val downtime_per_vmm_interval : params -> float
+
+val availability : params -> float
+(** Steady-state availability in [0, 1]. *)
+
+val nines : float -> int
+(** Number of leading nines: [nines 0.99993 = 4]. *)
+
+val pp_percent : Format.formatter -> float -> unit
+(** e.g. ["99.993 %"]. *)

@@ -1,0 +1,74 @@
+type t = {
+  host : Hw.Host.config;
+  vmm_timing : Xenvmm.Timing.t;
+  kernel_timing : Guest.Kernel.timing;
+  xend_stop_delay_s : float;
+  save_dispatch_delay_s : float;
+  resume_dispatch_s : float;
+  warm_artifact_factor : float;
+  warm_artifact_duration_s : float;
+  enable_warm_artifact : bool;
+  scrub_free_only : bool;
+  suspend_before_dom0_shutdown : bool;
+  parallel_restore : bool;
+}
+
+let default =
+  {
+    host = Hw.Host.default_config;
+    vmm_timing = Xenvmm.Timing.default;
+    kernel_timing = Guest.Kernel.default_timing;
+    xend_stop_delay_s = 6.0;
+    save_dispatch_delay_s = 2.0;
+    resume_dispatch_s = 0.08;
+    warm_artifact_factor = 0.15;
+    warm_artifact_duration_s = 25.0;
+    enable_warm_artifact = true;
+    scrub_free_only = true;
+    suspend_before_dom0_shutdown = false;
+    parallel_restore = false;
+  }
+
+let modern =
+  {
+    default with
+    host =
+      {
+        Hw.Host.mem_bytes = Simkit.Units.gib 128;
+        scrub_seconds_per_gib = 0.05;
+        disk_read_mib_per_s = 3000.0;
+        disk_write_mib_per_s = 2500.0;
+        disk_seek_ms = 0.02;
+        disk_random_penalty = 1.1;
+        disk_capacity_bytes = 2_000_000_000_000;
+        nic_gbit_per_s = 25.0;
+        (* Server firmware: long base POST, quick per-GiB check. *)
+        bios =
+          Hw.Bios.v ~base_s:60.0 ~memory_check_s_per_gib:0.2
+            ~scsi_init_s:10.0;
+        cpu_capacity = 1.0;
+      };
+    vmm_timing =
+      {
+        Xenvmm.Timing.default with
+        Xenvmm.Timing.vmm_load_s = 3.0;
+        dom0_boot_s = 15.0;
+        dom0_shutdown_s = 8.0;
+      };
+  }
+
+let with_memory t ~gib =
+  (* A bigger-memory host also needs storage that can hold full-memory
+     save images (the saved-VM path writes every VM's RAM to disk). *)
+  let disk_capacity_bytes =
+    Stdlib.max t.host.Hw.Host.disk_capacity_bytes (4 * Simkit.Units.gib gib)
+  in
+  {
+    t with
+    host =
+      {
+        t.host with
+        Hw.Host.mem_bytes = Simkit.Units.gib gib;
+        disk_capacity_bytes;
+      };
+  }

@@ -1,0 +1,49 @@
+(** One place for every timing constant of the simulated testbed.
+
+    Defaults reproduce the paper's Section 5 environment (two dual-core
+    Opteron 280s, 12 GB RAM, 15 krpm SCSI, GbE) via the derivation in
+    DESIGN.md §5. Experiments may override pieces (e.g. installed
+    memory) without touching the rest. *)
+
+type t = {
+  host : Hw.Host.config;
+  vmm_timing : Xenvmm.Timing.t;
+  kernel_timing : Guest.Kernel.timing;
+  xend_stop_delay_s : float;
+      (** Delay between the reboot command in dom0 and the moment the
+          toolstack actually reaches the guests (cold path). *)
+  save_dispatch_delay_s : float;
+      (** Delay before dom0-driven suspends start (saved path). *)
+  resume_dispatch_s : float;
+      (** Per-domain toolstack overhead while resuming serially. *)
+  warm_artifact_factor : float;
+      (** Fraction of NIC bandwidth available during the post-warm-
+          reboot network degradation Xen exhibits after creating many
+          domains at once. *)
+  warm_artifact_duration_s : float;
+  enable_warm_artifact : bool;
+  (* Ablation knobs — defaults are the paper's design; flipping one
+     isolates the contribution of that design choice. *)
+  scrub_free_only : bool;
+      (** Quick reload scrubs only free memory (skipping preserved
+          frames). [false]: scrub everything — kills the negative slope
+          of [reboot_vmm(n)]. *)
+  suspend_before_dom0_shutdown : bool;
+      (** [true]: original-Xen ordering, where domain Us are suspended
+          while dom0 shuts down — services go dark ~14 s earlier. *)
+  parallel_restore : bool;
+      (** [true]: saved-VM reboot restores all images concurrently
+          (interleaved disk reads) instead of xend's serial restore. *)
+}
+
+val default : t
+
+val modern : t
+(** A 2020s server profile for sensitivity analysis: 128 GiB RAM, NVMe
+    storage (3 GB/s reads), 25 GbE, faster memory scrubbing but a
+    longer server POST, quicker dom0 boot. Guest-side timings are kept
+    from the paper so only the platform changes. *)
+
+val with_memory : t -> gib:int -> t
+(** Same testbed with a different amount of installed RAM (adjusts the
+    BIOS memory check and scrub durations implicitly). *)

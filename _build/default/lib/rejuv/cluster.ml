@@ -1,0 +1,134 @@
+type params = {
+  m : int;
+  p : float;
+  warm_outage_s : float;
+  cold_outage_s : float;
+  cold_delta : float;
+  cold_degraded_s : float;
+  migration_degradation : float;
+  migration_duration_s : float;
+}
+
+let paper_params ?(m = 4) ?(p = 1.0) () =
+  {
+    m;
+    p;
+    warm_outage_s = 42.0;
+    cold_outage_s = 241.0;
+    cold_delta = 0.69;
+    cold_degraded_s = 60.0;
+    migration_degradation = 0.12;
+    (* 11 VMs x 1 GiB at the ~72 s / 800 MB rate from Clark et al. *)
+    migration_duration_s = 17.0 *. 60.0;
+  }
+
+type timeline = (float * float) list
+
+let validate p =
+  if p.m < 1 then invalid_arg "Cluster: m < 1";
+  if p.p <= 0.0 then invalid_arg "Cluster: p <= 0"
+
+(* Keep only the last breakpoint per timestamp, then merge consecutive
+   breakpoints with equal value. *)
+let normalize tl =
+  let sorted = List.stable_sort (fun (a, _) (b, _) -> Float.compare a b) tl in
+  let rec last_per_time = function
+    | (t1, _) :: ((t2, _) :: _ as rest) when t1 = t2 -> last_per_time rest
+    | x :: rest -> x :: last_per_time rest
+    | [] -> []
+  in
+  let rec merge acc = function
+    | [] -> List.rev acc
+    | (t, v) :: rest -> (
+      match acc with
+      | (_, pv) :: _ when pv = v -> merge acc rest
+      | _ -> merge ((t, v) :: acc) rest)
+  in
+  merge [] (last_per_time sorted)
+
+let throughput_at tl time =
+  List.fold_left (fun acc (t, v) -> if t <= time then v else acc) 0.0 tl
+
+let fm p = float_of_int p.m
+
+let warm_timeline p ~reboot_at =
+  validate p;
+  let full = fm p *. p.p in
+  normalize
+    [
+      (0.0, full);
+      (reboot_at, (fm p -. 1.0) *. p.p);
+      (reboot_at +. p.warm_outage_s, full);
+    ]
+
+let cold_timeline p ~reboot_at =
+  validate p;
+  let full = fm p *. p.p in
+  normalize
+    [
+      (0.0, full);
+      (reboot_at, (fm p -. 1.0) *. p.p);
+      (reboot_at +. p.cold_outage_s, (fm p -. p.cold_delta) *. p.p);
+      (reboot_at +. p.cold_outage_s +. p.cold_degraded_s, full);
+    ]
+
+let migration_timeline p ~migrate_at =
+  validate p;
+  if p.m < 2 then invalid_arg "Cluster.migration_timeline: needs m >= 2";
+  (* One host is always reserved as the migration destination. *)
+  let baseline = (fm p -. 1.0) *. p.p in
+  normalize
+    [
+      (0.0, baseline);
+      (migrate_at, (fm p -. 1.0 -. p.migration_degradation) *. p.p);
+      (migrate_at +. p.migration_duration_s, baseline);
+    ]
+
+let lost_capacity p tl ~horizon_s =
+  validate p;
+  if horizon_s <= 0.0 then invalid_arg "Cluster.lost_capacity: horizon";
+  let ideal = fm p *. p.p in
+  let rec go acc = function
+    | [] -> acc
+    | (t, v) :: rest ->
+      let t_end =
+        match rest with (t2, _) :: _ -> Float.min t2 horizon_s | [] -> horizon_s
+      in
+      if t >= horizon_s then acc
+      else go (acc +. ((ideal -. v) *. (t_end -. t))) rest
+  in
+  go 0.0 tl
+
+let rolling_rejuvenation p ~strategy ~start_at ~gap_s =
+  validate p;
+  let outage, degraded_tail =
+    match strategy with
+    | Strategy.Warm -> (p.warm_outage_s, None)
+    | Strategy.Saved -> (p.cold_outage_s *. 1.8, None)
+    | Strategy.Cold -> (p.cold_outage_s, Some (p.cold_delta, p.cold_degraded_s))
+  in
+  (* Capacity-delta events per host, summed by a sweep so overlapping
+     windows (gap shorter than the outage) compose correctly. *)
+  let events = ref [] in
+  let push t dv = events := (t, dv) :: !events in
+  for i = 0 to p.m - 1 do
+    let t0 = start_at +. (float_of_int i *. gap_s) in
+    push t0 (-.p.p);
+    match degraded_tail with
+    | None -> push (t0 +. outage) p.p
+    | Some (delta, dur) ->
+      push (t0 +. outage) ((1.0 -. delta) *. p.p);
+      push (t0 +. outage +. dur) (delta *. p.p)
+  done;
+  let sorted =
+    List.stable_sort (fun (a, _) (b, _) -> Float.compare a b)
+      (List.rev !events)
+  in
+  let full = fm p *. p.p in
+  let _, breakpoints =
+    List.fold_left
+      (fun (cap, acc) (t, dv) -> (cap +. dv, (t, cap +. dv) :: acc))
+      (full, [ (0.0, full) ])
+      sorted
+  in
+  normalize (List.rev breakpoints)

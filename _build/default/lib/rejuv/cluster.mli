@@ -1,0 +1,47 @@
+(** Cluster-environment throughput model (Section 6, Figure 9).
+
+    [m] hosts each deliver throughput [p] behind a load balancer. The
+    module produces the piecewise-constant total-throughput timelines
+    for a VMM rejuvenation under:
+
+    - the warm-VM reboot: a short dip to [(m-1)p];
+    - the cold-VM reboot: a long dip to [(m-1)p] followed by a
+      [(m-delta)p] window while caches refill (delta = 0.69 in the
+      paper's measurement);
+    - live migration: a permanently reserved destination host caps the
+      cluster at [(m-1)p]; migrating dips to [(m-1.12)p] for the
+      transfer period (~17 minutes for 11 VM × 1 GiB at the rates
+      reported by Clark et al.). *)
+
+type params = {
+  m : int;  (** number of hosts *)
+  p : float;  (** per-host throughput *)
+  warm_outage_s : float;  (** 42 s in the paper's measurement *)
+  cold_outage_s : float;  (** 241 s (JBoss, 11 VMs) *)
+  cold_delta : float;  (** post-reboot degradation, 0.69 *)
+  cold_degraded_s : float;  (** cache refill window *)
+  migration_degradation : float;  (** 0.12 during live migration *)
+  migration_duration_s : float;  (** ~17 min for 11 × 1 GiB VMs *)
+}
+
+val paper_params : ?m:int -> ?p:float -> unit -> params
+
+type timeline = (float * float) list
+(** Breakpoints (time, throughput from this time on), time-ordered,
+    starting at 0. *)
+
+val throughput_at : timeline -> float -> float
+
+val warm_timeline : params -> reboot_at:float -> timeline
+val cold_timeline : params -> reboot_at:float -> timeline
+val migration_timeline : params -> migrate_at:float -> timeline
+
+val lost_capacity : params -> timeline -> horizon_s:float -> float
+(** Integral of [m*p - throughput(t)] over [0, horizon] — total
+    work lost versus an ideal never-rebooted cluster of [m] hosts
+    (for migration this includes the permanently reserved spare). *)
+
+val rolling_rejuvenation :
+  params -> strategy:Strategy.t -> start_at:float -> gap_s:float -> timeline
+(** Reboot each host in turn, [gap_s] apart, with the given strategy's
+    outage/degradation profile. *)

@@ -1,0 +1,106 @@
+type t = {
+  eng : Simkit.Engine.t;
+  members : Scenario.t array;
+  rng : Simkit.Rng.t;
+  mutable next_host : int;
+}
+
+let create ?(calibration = Calibration.default) ?(seed = 42) ~hosts
+    ~vms_per_host ~vm_mem_bytes ~workload () =
+  if hosts <= 0 then invalid_arg "Cluster_sim.create: hosts <= 0";
+  let eng = Simkit.Engine.create ~seed () in
+  let members =
+    Array.init hosts (fun i ->
+        Scenario.create ~calibration ~engine:eng
+          ~name_prefix:(Printf.sprintf "h%d-" (i + 1))
+          ~vm_count:vms_per_host ~vm_mem_bytes ~workload ())
+  in
+  {
+    eng;
+    members;
+    rng = Simkit.Rng.split (Simkit.Engine.rng eng);
+    next_host = 0;
+  }
+
+let engine t = t.eng
+let nodes t = Array.to_list t.members
+let host_count t = Array.length t.members
+
+let host_healthy t i =
+  let node = t.members.(i) in
+  Scenario.vms node <> []
+  && List.for_all Scenario.vm_is_up (Scenario.vms node)
+
+let healthy_hosts t =
+  let n = ref 0 in
+  for i = 0 to host_count t - 1 do
+    if host_healthy t i then incr n
+  done;
+  !n
+
+let start t =
+  let up = ref 0 in
+  Array.iter
+    (fun node -> Scenario.start node (fun () -> incr up))
+    t.members;
+  while !up < host_count t && Simkit.Engine.step t.eng do () done;
+  if !up < host_count t then failwith "Cluster_sim.start: boot incomplete"
+
+let offer_load t ~rate_per_s =
+  let request k =
+    (* Round-robin dispatch, as the paper's load balancer. *)
+    let i = t.next_host in
+    t.next_host <- (i + 1) mod host_count t;
+    k (host_healthy t i)
+  in
+  let gen =
+    Netsim.Poisson.create t.eng ~name:"cluster-load" ~rate_per_s ~rng:t.rng
+      ~request ()
+  in
+  Netsim.Poisson.start gen;
+  gen
+
+let watch_capacity t ~interval_s =
+  Simkit.Sampler.start t.eng ~name:"healthy-hosts" ~interval_s
+    ~gauge:(fun () -> float_of_int (healthy_hosts t))
+    ()
+
+type rolling_result = {
+  strategy : Strategy.t;
+  total_elapsed_s : float;
+  per_host_outage_s : float list;
+  offered : int;
+  lost : int;
+  loss_ratio : float;
+}
+
+let rolling_rejuvenation t ~strategy ?(gap_s = 20.0) ?(load_rate_per_s = 100.0)
+    () =
+  let load = offer_load t ~rate_per_s:load_rate_per_s in
+  let outages = Array.make (host_count t) 0.0 in
+  let t0 = Simkit.Engine.now t.eng in
+  let finished = ref false in
+  let rec go i =
+    if i >= host_count t then finished := true
+    else begin
+      let node = t.members.(i) in
+      let down_at = Simkit.Engine.now t.eng in
+      Roothammer.rejuvenate node ~strategy (fun () ->
+          outages.(i) <- Simkit.Engine.now t.eng -. down_at;
+          Simkit.Process.delay t.eng gap_s (fun () -> go (i + 1)))
+    end
+  in
+  go 0;
+  while (not !finished) && Simkit.Engine.step t.eng do () done;
+  if not !finished then failwith "Cluster_sim: rolling reboot incomplete";
+  (* Let stragglers (probes, in-flight requests) settle briefly. *)
+  Simkit.Engine.run ~until:(Simkit.Engine.now t.eng +. 5.0) t.eng;
+  Netsim.Poisson.stop load;
+  {
+    strategy;
+    total_elapsed_s = Simkit.Engine.now t.eng -. t0;
+    per_host_outage_s = Array.to_list outages;
+    offered = Netsim.Poisson.offered load;
+    lost = Netsim.Poisson.lost load;
+    loss_ratio = Netsim.Poisson.loss_ratio load;
+  }

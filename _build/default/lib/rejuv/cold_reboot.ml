@@ -1,0 +1,39 @@
+module Vmm = Xenvmm.Vmm
+
+let execute scenario k =
+  let vmm = Scenario.vmm scenario in
+  let cal = Scenario.calibration scenario in
+  let engine = Scenario.engine scenario in
+  let tr = Scenario.trace scenario in
+  Simkit.Trace.instant tr "reboot command (cold)";
+  Simkit.Process.delay engine cal.Calibration.xend_stop_delay_s (fun () ->
+      let pre = Simkit.Trace.begin_span tr "pre-reboot tasks" in
+      (* Orderly shutdown of every guest OS, in parallel. *)
+      Simkit.Process.par
+        (List.map
+           (fun v -> Guest.Kernel.shutdown (Scenario.vm_kernel v))
+           (Scenario.vms scenario))
+        (fun () ->
+          (* The halted domains are then torn down by the toolstack. *)
+          Simkit.Process.par
+            (List.map
+               (fun v k -> Vmm.destroy_domain vmm (Scenario.vm_domain v) k)
+               (Scenario.vms scenario))
+            (fun () ->
+              Simkit.Trace.end_span tr pre;
+              let reboot = Simkit.Trace.begin_span tr "vmm reboot" in
+              Vmm.shutdown_dom0 vmm (fun () ->
+                  Vmm.shutdown_vmm vmm (fun () ->
+                      Vmm.hardware_reset vmm (fun () ->
+                          Vmm.boot_dom0 vmm (fun () ->
+                              Simkit.Trace.end_span tr reboot;
+                              let post =
+                                Simkit.Trace.begin_span tr "post-reboot tasks"
+                              in
+                              Simkit.Process.par
+                                (List.map
+                                   (fun v -> Scenario.provision_vm scenario v)
+                                   (Scenario.vms scenario))
+                                (fun () ->
+                                  Simkit.Trace.end_span tr post;
+                                  k ()))))))))

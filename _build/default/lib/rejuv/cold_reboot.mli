@@ -1,0 +1,10 @@
+(** The cold-VM reboot baseline: a normal reboot of the whole machine.
+
+    Every guest OS is shut down in parallel (contending for the CPU
+    complex), dom0 and the VMM follow, the hardware resets (BIOS POST),
+    the VMM boots scrubbing all memory, dom0 boots, fresh domains are
+    built and every guest OS boots and restarts its services. Page
+    caches come back empty — the post-reboot degradation of Figures 7
+    and 8. *)
+
+val execute : Scenario.t -> Simkit.Process.task

@@ -1,0 +1,78 @@
+type fits = {
+  reboot_vmm : Simkit.Stat.linear;
+  resume : Simkit.Stat.linear;
+  reboot_os : Simkit.Stat.linear;
+  boot : Simkit.Stat.linear;
+  reset_hw : float;
+}
+
+let line slope intercept = { Simkit.Stat.slope; intercept; r2 = 1.0 }
+
+let paper_fits =
+  {
+    reboot_vmm = line (-0.55) 43.0;
+    resume = line 0.43 (-0.07);
+    reboot_os = line 3.8 13.0;
+    boot = line 3.4 2.8;
+    reset_hw = 47.0;
+  }
+
+let eval = Simkit.Stat.eval_linear
+
+let d_warm f ~n =
+  let x = float_of_int n in
+  eval f.reboot_vmm x +. eval f.resume x
+
+let d_cold f ~n ~alpha =
+  if alpha <= 0.0 || alpha > 1.0 then
+    invalid_arg "Downtime_model.d_cold: alpha outside (0, 1]";
+  let x = float_of_int n in
+  f.reset_hw +. eval f.reboot_vmm 0.0 +. eval f.reboot_os x
+  -. (eval f.reboot_os 1.0 *. alpha)
+
+let reduction f ~n ~alpha = d_cold f ~n ~alpha -. d_warm f ~n
+
+type reduction_formula = {
+  n_slope : float;
+  constant : float;
+  alpha_coefficient : float;
+}
+
+let reduction_as_formula f =
+  {
+    n_slope =
+      f.reboot_os.Simkit.Stat.slope -. f.reboot_vmm.Simkit.Stat.slope
+      -. f.resume.Simkit.Stat.slope;
+    constant =
+      f.reset_hw +. f.reboot_os.Simkit.Stat.intercept
+      -. f.resume.Simkit.Stat.intercept;
+    alpha_coefficient = -.eval f.reboot_os 1.0;
+  }
+
+let always_positive f ~max_n =
+  let worst_alpha = 1.0 in
+  let rec go n =
+    if n > max_n then true
+    else if reduction f ~n ~alpha:worst_alpha <= 0.0 then false
+    else go (n + 1)
+  in
+  go 1
+
+let fit ~reboot_vmm ~resume ~reboot_os ~boot ~reset_hw =
+  {
+    reboot_vmm = Simkit.Stat.linear_fit reboot_vmm;
+    resume = Simkit.Stat.linear_fit resume;
+    reboot_os = Simkit.Stat.linear_fit reboot_os;
+    boot = Simkit.Stat.linear_fit boot;
+    reset_hw;
+  }
+
+let pp ppf f =
+  let l = Simkit.Stat.pp_linear ~var:"n" in
+  Format.fprintf ppf
+    "reboot_vmm(n) = %a@.resume(n)     = %a@.reboot_os(n)  = %a@.boot(n)       \
+     = %a@.reset_hw      = %.1f@."
+    l f.reboot_vmm l f.resume l f.reboot_os l f.boot f.reset_hw;
+  let r = reduction_as_formula f in
+  Format.fprintf ppf "r(n)          = %.1fn + %.0f %+.0f*alpha@." r.n_slope
+    r.constant r.alpha_coefficient

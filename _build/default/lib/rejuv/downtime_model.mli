@@ -1,0 +1,55 @@
+(** The paper's downtime model (Section 3.2) and its fitted instance
+    (Section 5.6).
+
+    With [n] VMs:
+    - warm: [d_w(n) = reboot_vmm(n) + resume(n)]
+    - cold: [d_c(n) = reset_hw + reboot_vmm(0) + reboot_os(n)
+                      - reboot_os(1) * alpha]
+    - reduction: [r(n) = d_c(n) - d_w(n)].
+
+    The paper's fit on the 12 GB / 11 VM testbed:
+    [reboot_vmm(n) = -0.55 n + 43], [resume(n) = 0.43 n - 0.07],
+    [reboot_os(n) = 3.8 n + 13], [boot(n) = 3.4 n + 2.8],
+    [reset_hw = 47] ⇒ [r(n) = 3.9 n + 60 - 17 alpha]. *)
+
+type fits = {
+  reboot_vmm : Simkit.Stat.linear;
+      (** quick-reload VMM reboot time vs number of suspended VMs *)
+  resume : Simkit.Stat.linear;  (** on-memory suspend+resume vs n *)
+  reboot_os : Simkit.Stat.linear;  (** shutdown+boot of n OSes *)
+  boot : Simkit.Stat.linear;  (** boot only, reported alongside *)
+  reset_hw : float;
+}
+
+val paper_fits : fits
+(** The constants printed in Section 5.6. *)
+
+val d_warm : fits -> n:int -> float
+val d_cold : fits -> n:int -> alpha:float -> float
+
+val reduction : fits -> n:int -> alpha:float -> float
+(** [d_cold - d_warm]; the paper's r(n). *)
+
+type reduction_formula = {
+  n_slope : float;
+  constant : float;
+  alpha_coefficient : float;
+}
+(** [r(n) = n_slope * n + constant + alpha_coefficient * alpha]. *)
+
+val reduction_as_formula : fits -> reduction_formula
+
+val always_positive : fits -> max_n:int -> bool
+(** Whether r(n) > 0 for all 1 <= n <= max_n and 0 < alpha <= 1 — the
+    paper's closing claim for its configuration. *)
+
+val fit :
+  reboot_vmm:(float * float) list ->
+  resume:(float * float) list ->
+  reboot_os:(float * float) list ->
+  boot:(float * float) list ->
+  reset_hw:float ->
+  fits
+(** Least-squares fit from measured (n, seconds) points. *)
+
+val pp : Format.formatter -> fits -> unit

@@ -1,0 +1,508 @@
+type reboot_run = {
+  strategy : Strategy.t;
+  vm_count : int;
+  vm_mem_bytes : int;
+  pre_task_s : float;
+  vmm_reboot_s : float;
+  post_task_s : float;
+  downtimes : float list;
+  downtime_mean_s : float;
+  downtime_max_s : float;
+  spans : (string * float * float) list;
+}
+
+let strategy_task strategy scenario =
+  match strategy with
+  | Strategy.Warm -> Warm_reboot.execute scenario
+  | Strategy.Saved -> Saved_reboot.execute scenario
+  | Strategy.Cold -> Cold_reboot.execute scenario
+
+let span_duration spans label =
+  List.fold_left
+    (fun acc (l, start, stop) ->
+      if String.equal l label then acc +. (stop -. start) else acc)
+    0.0 spans
+
+(* Step the engine until the flag is set; stop (and fail) once simulated
+   time passes the deadline. Stepping — rather than draining to the
+   deadline — stops immediately on completion even with perpetual
+   processes (probers, workload generators) in flight. *)
+let run_until_done engine ~flag ~deadline =
+  while
+    (not !flag)
+    && Simkit.Engine.now engine <= deadline
+    && Simkit.Engine.step engine
+  do
+    ()
+  done;
+  if not !flag then
+    failwith
+      (Printf.sprintf "experiment did not complete by t=%.1f" deadline)
+
+let boot_testbed scenario =
+  let started = ref false in
+  Scenario.start scenario (fun () -> started := true);
+  Simkit.Engine.run (Scenario.engine scenario);
+  if not !started then failwith "testbed failed to start"
+
+let run_reboot ?calibration ?(workload = Scenario.Ssh) ?seed
+    ?(settle_s = 20.0) ?(horizon_s = 1200.0) ~strategy ~vm_count
+    ~vm_mem_bytes () =
+  let scenario =
+    Scenario.create ?calibration ?seed ~vm_count ~vm_mem_bytes ~workload ()
+  in
+  let engine = Scenario.engine scenario in
+  boot_testbed scenario;
+  let probers = Scenario.attach_probers scenario () in
+  let finished = ref false in
+  ignore
+    (Simkit.Engine.schedule engine ~delay:settle_s (fun () ->
+         strategy_task strategy scenario (fun () -> finished := true)));
+  run_until_done engine ~flag:finished
+    ~deadline:(Simkit.Engine.now engine +. settle_s +. horizon_s);
+  (* Let the probers observe the recovered services. *)
+  Simkit.Engine.run
+    ~until:(Simkit.Engine.now engine +. 2.0)
+    engine;
+  List.iter Netsim.Prober.stop probers;
+  List.iter
+    (fun v ->
+      if not (Scenario.vm_is_up v) then
+        failwith (Scenario.vm_name v ^ " did not come back"))
+    (Scenario.vms scenario);
+  let downtimes =
+    List.map
+      (fun p -> Option.value (Netsim.Prober.longest_outage p) ~default:0.0)
+      probers
+  in
+  let spans = Simkit.Trace.spans (Scenario.trace scenario) in
+  let pre_task_s = span_duration spans "pre-reboot tasks" in
+  let vmm_reboot_s = span_duration spans "vmm reboot" in
+  let post_task_s = span_duration spans "post-reboot tasks" in
+  let summary =
+    match downtimes with
+    | [] -> { Simkit.Stat.count = 0; mean = 0.0; stddev = 0.0; min = 0.0; max = 0.0 }
+    | _ -> Simkit.Stat.summarize downtimes
+  in
+  {
+    strategy;
+    vm_count;
+    vm_mem_bytes;
+    pre_task_s;
+    vmm_reboot_s;
+    post_task_s;
+    downtimes;
+    downtime_mean_s = summary.Simkit.Stat.mean;
+    downtime_max_s = summary.Simkit.Stat.max;
+    spans;
+  }
+
+(* --- Figures 4 and 5 ---------------------------------------------------- *)
+
+type task_times = {
+  x : int;
+  onmem_suspend_s : float;
+  onmem_resume_s : float;
+  xen_save_s : float;
+  xen_restore_s : float;
+  shutdown_s : float;
+  boot_s : float;
+}
+
+let task_times_of_runs ~x ~(warm : reboot_run) ~(saved : reboot_run)
+    ~(cold : reboot_run) =
+  {
+    x;
+    onmem_suspend_s = span_duration warm.spans "on-memory suspend";
+    onmem_resume_s = warm.post_task_s;
+    xen_save_s = saved.pre_task_s;
+    xen_restore_s = saved.post_task_s;
+    shutdown_s = cold.pre_task_s;
+    boot_s = cold.post_task_s;
+  }
+
+let fig4 ?(mem_gib = [ 1; 3; 5; 7; 9; 11 ]) () =
+  List.map
+    (fun gib ->
+      let run strategy =
+        run_reboot ~strategy ~vm_count:1
+          ~vm_mem_bytes:(Simkit.Units.gib gib) ()
+      in
+      task_times_of_runs ~x:gib ~warm:(run Strategy.Warm)
+        ~saved:(run Strategy.Saved) ~cold:(run Strategy.Cold))
+    mem_gib
+
+let fig5 ?(vm_counts = [ 1; 3; 5; 7; 9; 11 ]) () =
+  List.map
+    (fun n ->
+      let run strategy =
+        run_reboot ~strategy ~vm_count:n
+          ~vm_mem_bytes:(Simkit.Units.gib 1) ()
+      in
+      task_times_of_runs ~x:n ~warm:(run Strategy.Warm)
+        ~saved:(run Strategy.Saved) ~cold:(run Strategy.Cold))
+    vm_counts
+
+(* --- Section 5.2 -------------------------------------------------------- *)
+
+type reload_times = { quick_reload_s : float; hardware_reset_s : float }
+
+(* Time from "shutdown script completed" (dom0 down) to "reboot of the
+   VMM completed" (ready to boot dom0), with no domain Us. *)
+let measure_vmm_reboot ~quick =
+  let scenario =
+    Scenario.create ~vm_count:0 ~vm_mem_bytes:(Simkit.Units.gib 1)
+      ~workload:Scenario.Ssh ()
+  in
+  let vmm = Scenario.vmm scenario in
+  let engine = Scenario.engine scenario in
+  boot_testbed scenario;
+  let reboot_done = ref nan in
+  let start = ref nan in
+  Xenvmm.Vmm.shutdown_dom0 vmm (fun () ->
+      start := Simkit.Engine.now engine;
+      if quick then
+        Xenvmm.Vmm.quick_reload vmm (function
+          | Ok () -> reboot_done := Simkit.Engine.now engine
+          | Error e -> failwith (Xenvmm.Vmm.error_message e))
+      else
+        Xenvmm.Vmm.shutdown_vmm vmm (fun () ->
+            Xenvmm.Vmm.hardware_reset vmm (fun () ->
+                reboot_done := Simkit.Engine.now engine)));
+  Simkit.Engine.run engine;
+  if Float.is_nan !reboot_done then failwith "VMM reboot did not complete";
+  !reboot_done -. !start
+
+let quick_reload_effect () =
+  {
+    quick_reload_s = measure_vmm_reboot ~quick:true;
+    hardware_reset_s = measure_vmm_reboot ~quick:false;
+  }
+
+(* --- Figure 6 ----------------------------------------------------------- *)
+
+type fig6_row = {
+  n : int;
+  warm_downtime_s : float;
+  saved_downtime_s : float;
+  cold_downtime_s : float;
+}
+
+let fig6 ?(vm_counts = [ 1; 3; 5; 7; 9; 11 ]) ~workload () =
+  List.map
+    (fun n ->
+      let run strategy =
+        (run_reboot ~workload ~strategy ~vm_count:n
+           ~vm_mem_bytes:(Simkit.Units.gib 1) ())
+          .downtime_mean_s
+      in
+      {
+        n;
+        warm_downtime_s = run Strategy.Warm;
+        saved_downtime_s = run Strategy.Saved;
+        cold_downtime_s = run Strategy.Cold;
+      })
+    vm_counts
+
+(* --- Section 5.3 -------------------------------------------------------- *)
+
+let run_os_rejuvenation ?(workload = Scenario.Jboss) () =
+  let scenario =
+    Scenario.create ~vm_count:1 ~vm_mem_bytes:(Simkit.Units.gib 1) ~workload
+      ()
+  in
+  let engine = Scenario.engine scenario in
+  boot_testbed scenario;
+  let probers = Scenario.attach_probers scenario () in
+  let finished = ref false in
+  ignore
+    (Simkit.Engine.schedule engine ~delay:10.0 (fun () ->
+         match Scenario.vms scenario with
+         | [ vm ] ->
+           Guest.Kernel.reboot_os (Scenario.vm_kernel vm) (fun () ->
+               finished := true)
+         | _ -> assert false));
+  run_until_done engine ~flag:finished
+    ~deadline:(Simkit.Engine.now engine +. 300.0);
+  Simkit.Engine.run ~until:(Simkit.Engine.now engine +. 2.0) engine;
+  List.iter Netsim.Prober.stop probers;
+  match probers with
+  | [ p ] -> Option.value (Netsim.Prober.longest_outage p) ~default:0.0
+  | _ -> assert false
+
+let availability_table ?(os_downtime_s = 33.6) ~vmm_downtimes () =
+  List.map
+    (fun (strategy, vmm_downtime_s) ->
+      let params =
+        {
+          (Availability.paper_example strategy ~vmm_downtime_s) with
+          Availability.os_rejuv_downtime_s = os_downtime_s;
+        }
+      in
+      (strategy, Availability.availability params))
+    vmm_downtimes
+
+(* --- Figure 7 ----------------------------------------------------------- *)
+
+type fig7_result = {
+  f7_strategy : Strategy.t;
+  reboot_command_at : float;
+  throughput : (float * float) list;
+  f7_spans : (string * float * float) list;
+  web_down_at : float option;
+  web_up_at : float option;
+  chrome_trace_json : string;
+}
+
+let fig7 ~strategy () =
+  let workload =
+    Scenario.Web { file_count = 1000; file_bytes = Simkit.Units.kib 512;
+                   warm_cache = true }
+  in
+  let scenario =
+    Scenario.create ~vm_count:11 ~vm_mem_bytes:(Simkit.Units.gib 1) ~workload
+      ()
+  in
+  let engine = Scenario.engine scenario in
+  boot_testbed scenario;
+  let epoch = Simkit.Engine.now engine in
+  let target_vm = List.hd (Scenario.vms scenario) in
+  let rng = Scenario.rng scenario in
+  let request k =
+    match Scenario.vm_httpd target_vm with
+    | Some httpd -> Guest.Httpd.handle_request httpd ~rng k
+    | None -> k false
+  in
+  let load = Netsim.Httperf.create engine ~connections:4 ~request () in
+  let prober =
+    Netsim.Prober.create engine ~name:"web"
+      ~is_up:(fun () -> Scenario.vm_is_up target_vm)
+      ()
+  in
+  Netsim.Prober.start prober;
+  Netsim.Httperf.start load;
+  let reboot_delay = 20.0 in
+  let finished = ref false in
+  ignore
+    (Simkit.Engine.schedule engine ~delay:reboot_delay (fun () ->
+         strategy_task strategy scenario (fun () -> finished := true)));
+  run_until_done engine ~flag:finished ~deadline:(epoch +. 600.0);
+  (* Observe the post-reboot recovery (and the warm artifact window). *)
+  Simkit.Engine.run ~until:(Simkit.Engine.now engine +. 90.0) engine;
+  Netsim.Httperf.stop load;
+  Netsim.Prober.stop prober;
+  Simkit.Engine.run ~until:(Simkit.Engine.now engine +. 5.0) engine;
+  let outage = List.rev (Netsim.Prober.outages prober) in
+  let web_down_at, web_up_at =
+    match outage with
+    | (d, u) :: _ -> (Some (d -. epoch), Some (u -. epoch))
+    | [] -> (None, None)
+  in
+  {
+    f7_strategy = strategy;
+    reboot_command_at = reboot_delay;
+    throughput =
+      List.map
+        (fun (t, v) -> (t -. epoch, v))
+        (Netsim.Httperf.mean_window_throughput load ~every:50);
+    f7_spans =
+      List.filter_map
+        (fun (l, a, b) ->
+          if b >= epoch then Some (l, a -. epoch, b -. epoch) else None)
+        (Simkit.Trace.spans (Scenario.trace scenario));
+    web_down_at;
+    web_up_at;
+    chrome_trace_json =
+      Simkit.Trace.to_chrome_json (Scenario.trace scenario);
+  }
+
+(* --- Figure 8 ----------------------------------------------------------- *)
+
+type before_after = {
+  first_before : float;
+  second_before : float;
+  first_after : float;
+  second_after : float;
+  degradation : float;
+}
+
+let degradation_of ~before ~after =
+  if before <= 0.0 then 0.0 else Float.max 0.0 (1.0 -. (after /. before))
+
+(* Read a 512 MB file twice, returning MiB/s for each pass. *)
+let timed_file_reads scenario vm k =
+  let engine = Scenario.engine scenario in
+  let kernel = Scenario.vm_kernel vm in
+  let fs = Guest.Kernel.filesystem kernel in
+  let file =
+    Guest.Filesystem.create_file fs ~name:"bigfile" ~bytes:(Simkit.Units.mib 512)
+      ()
+  in
+  (* The paper's setup has the file cached before the first pass. *)
+  Guest.Filesystem.warm_file fs file;
+  let mib = Simkit.Units.bytes_to_mib (Guest.Filesystem.file_bytes file) in
+  let t0 = Simkit.Engine.now engine in
+  Guest.Filesystem.read fs file ~access:Guest.Filesystem.Sequential (fun () ->
+      let t1 = Simkit.Engine.now engine in
+      Guest.Filesystem.read fs file ~access:Guest.Filesystem.Sequential
+        (fun () ->
+          let t2 = Simkit.Engine.now engine in
+          k (mib /. Float.max (t1 -. t0) 1e-9, mib /. Float.max (t2 -. t1) 1e-9)))
+
+let fig8_file ~strategy () =
+  let scenario =
+    Scenario.create ~vm_count:1 ~vm_mem_bytes:(Simkit.Units.gib 11)
+      ~workload:Scenario.Ssh ()
+  in
+  let engine = Scenario.engine scenario in
+  boot_testbed scenario;
+  let vm = List.hd (Scenario.vms scenario) in
+  let result = ref None in
+  timed_file_reads scenario vm (fun (b1, b2) ->
+      strategy_task strategy scenario (fun () ->
+          (* After a cold reboot the kernel (and its cache) is new; the
+             file must be re-created on the fresh filesystem, not
+             re-warmed — that is the degradation being measured. *)
+          let fs = Guest.Kernel.filesystem (Scenario.vm_kernel vm) in
+          let file =
+            match
+              List.find_opt
+                (fun f -> Guest.Filesystem.file_name f = "bigfile")
+                (Guest.Filesystem.files fs)
+            with
+            | Some f -> f
+            | None ->
+              Guest.Filesystem.create_file fs ~name:"bigfile"
+                ~bytes:(Simkit.Units.mib 512) ()
+          in
+          let mib =
+            Simkit.Units.bytes_to_mib (Guest.Filesystem.file_bytes file)
+          in
+          let t0 = Simkit.Engine.now engine in
+          Guest.Filesystem.read fs file ~access:Guest.Filesystem.Sequential
+            (fun () ->
+              let t1 = Simkit.Engine.now engine in
+              Guest.Filesystem.read fs file
+                ~access:Guest.Filesystem.Sequential (fun () ->
+                  let t2 = Simkit.Engine.now engine in
+                  result :=
+                    Some
+                      ( b1,
+                        b2,
+                        mib /. Float.max (t1 -. t0) 1e-9,
+                        mib /. Float.max (t2 -. t1) 1e-9 )))));
+  Simkit.Engine.run engine;
+  match !result with
+  | None -> failwith "fig8_file did not complete"
+  | Some (first_before, second_before, first_after, second_after) ->
+    {
+      first_before;
+      second_before;
+      first_after;
+      second_after;
+      degradation = degradation_of ~before:first_before ~after:first_after;
+    }
+
+let fig8_web ~strategy () =
+  let workload =
+    Scenario.Web
+      { file_count = 10_000; file_bytes = Simkit.Units.kib 512;
+        warm_cache = true }
+  in
+  let scenario =
+    Scenario.create ~vm_count:1 ~vm_mem_bytes:(Simkit.Units.gib 11) ~workload
+      ()
+  in
+  let engine = Scenario.engine scenario in
+  boot_testbed scenario;
+  let vm = List.hd (Scenario.vms scenario) in
+  let rng = Scenario.rng scenario in
+  let request k =
+    match Scenario.vm_httpd vm with
+    | Some httpd -> Guest.Httpd.handle_request httpd ~rng k
+    | None -> k false
+  in
+  let load = Netsim.Httperf.create engine ~connections:10 ~request () in
+  Netsim.Httperf.start load;
+  let window = 20.0 in
+  let epoch = Simkit.Engine.now engine in
+  let marks = ref [] in
+  (* Two measurement windows before the reboot, then the reboot, then
+     two windows after it. *)
+  ignore
+    (Simkit.Engine.schedule engine ~delay:(2.0 *. window) (fun () ->
+         let now = Simkit.Engine.now engine in
+         marks := [ ("b1", epoch, epoch +. window); ("b2", epoch +. window, now) ];
+         strategy_task strategy scenario (fun () ->
+             let up = Simkit.Engine.now engine in
+             marks :=
+               !marks
+               @ [ ("a1", up, up +. window); ("a2", up +. window, up +. (2.0 *. window)) ];
+             ignore
+               (Simkit.Engine.schedule engine ~delay:(2.0 *. window)
+                  (fun () -> Netsim.Httperf.stop load)))));
+  Simkit.Engine.run ~until:(epoch +. 1200.0) engine;
+  let rate tag =
+    match List.find_opt (fun (l, _, _) -> l = tag) !marks with
+    | Some (_, lo, hi) -> Netsim.Httperf.throughput_between load ~lo ~hi
+    | None -> failwith "fig8_web window missing"
+  in
+  let first_before = rate "b1"
+  and second_before = rate "b2"
+  and first_after = rate "a1"
+  and second_after = rate "a2" in
+  {
+    first_before;
+    second_before;
+    first_after;
+    second_after;
+    degradation = degradation_of ~before:second_before ~after:first_after;
+  }
+
+(* --- Section 5.6 -------------------------------------------------------- *)
+
+let section_5_6_fits ?(vm_counts = [ 0; 2; 4; 6; 8; 11 ]) () =
+  let warm_points =
+    List.map
+      (fun n ->
+        let r =
+          run_reboot ~strategy:Strategy.Warm ~vm_count:n
+            ~vm_mem_bytes:(Simkit.Units.gib 1) ()
+        in
+        (n, r))
+      vm_counts
+  in
+  let cold_points =
+    List.filter_map
+      (fun n ->
+        if n = 0 then None
+        else
+          Some
+            ( n,
+              run_reboot ~strategy:Strategy.Cold ~vm_count:n
+                ~vm_mem_bytes:(Simkit.Units.gib 1) () ))
+      vm_counts
+  in
+  let reboot_vmm =
+    List.map (fun (n, r) -> (float_of_int n, r.vmm_reboot_s)) warm_points
+  in
+  let resume =
+    List.map
+      (fun (n, r) ->
+        ( float_of_int n,
+          r.post_task_s +. span_duration r.spans "on-memory suspend" ))
+      warm_points
+  in
+  let reboot_os =
+    List.map
+      (fun (n, r) -> (float_of_int n, r.pre_task_s +. r.post_task_s))
+      cold_points
+  in
+  let boot =
+    List.map (fun (n, r) -> (float_of_int n, r.post_task_s)) cold_points
+  in
+  let reset_hw =
+    let times = quick_reload_effect () in
+    times.hardware_reset_s -. times.quick_reload_s
+  in
+  Downtime_model.fit ~reboot_vmm ~resume ~reboot_os ~boot ~reset_hw

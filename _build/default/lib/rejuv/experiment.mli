@@ -1,0 +1,126 @@
+(** Runners for every experiment in the paper's Section 5 (and the
+    Figure 9 model of Section 6). Each returns plain data; printing
+    lives in the bench harness and the CLI.
+
+    All runs are deterministic given the seed (default 42). *)
+
+type reboot_run = {
+  strategy : Strategy.t;
+  vm_count : int;
+  vm_mem_bytes : int;
+  pre_task_s : float;  (** suspend / save / guest shutdown duration *)
+  vmm_reboot_s : float;  (** VMM-only reboot portion *)
+  post_task_s : float;  (** resume / restore / guest boot duration *)
+  downtimes : float list;  (** per-VM longest service outage *)
+  downtime_mean_s : float;
+  downtime_max_s : float;
+  spans : (string * float * float) list;  (** full trace *)
+}
+
+val run_reboot :
+  ?calibration:Calibration.t ->
+  ?workload:Scenario.workload ->
+  ?seed:int ->
+  ?settle_s:float ->
+  ?horizon_s:float ->
+  strategy:Strategy.t ->
+  vm_count:int ->
+  vm_mem_bytes:int ->
+  unit ->
+  reboot_run
+(** Boot the testbed, attach probers, run one VMM rejuvenation with the
+    given strategy, and measure. Raises [Failure] if any VM fails to
+    come back before the horizon. *)
+
+(** {1 Figure 4/5: pre- and post-reboot task times} *)
+
+type task_times = {
+  x : int;  (** memory in GiB (fig 4) or VM count (fig 5) *)
+  onmem_suspend_s : float;
+  onmem_resume_s : float;
+  xen_save_s : float;
+  xen_restore_s : float;
+  shutdown_s : float;
+  boot_s : float;
+}
+
+val fig4 : ?mem_gib:int list -> unit -> task_times list
+(** One VM, memory swept 1–11 GiB (paper default). *)
+
+val fig5 : ?vm_counts:int list -> unit -> task_times list
+(** 1 GiB per VM, count swept 1–11. *)
+
+(** {1 Section 5.2: effect of quick reload} *)
+
+type reload_times = { quick_reload_s : float; hardware_reset_s : float }
+
+val quick_reload_effect : unit -> reload_times
+(** VMM reboot duration, dom0-shutdown-complete to reboot-complete,
+    with no domain Us. *)
+
+(** {1 Figure 6: downtime of networked services} *)
+
+type fig6_row = {
+  n : int;
+  warm_downtime_s : float;
+  saved_downtime_s : float;
+  cold_downtime_s : float;
+}
+
+val fig6 :
+  ?vm_counts:int list -> workload:Scenario.workload -> unit -> fig6_row list
+
+(** {1 Section 5.3: availability} *)
+
+val run_os_rejuvenation :
+  ?workload:Scenario.workload -> unit -> float
+(** Downtime of rebooting one guest OS (the paper's 33.6 s with
+    JBoss). *)
+
+val availability_table :
+  ?os_downtime_s:float ->
+  vmm_downtimes:(Strategy.t * float) list ->
+  unit ->
+  (Strategy.t * float) list
+(** Section 5.3's availability figures from measured downtimes. *)
+
+(** {1 Figure 7: downtime breakdown with a live web workload} *)
+
+type fig7_result = {
+  f7_strategy : Strategy.t;
+  reboot_command_at : float;
+  throughput : (float * float) list;
+      (** mean throughput of consecutive 50-request windows *)
+  f7_spans : (string * float * float) list;
+  web_down_at : float option;
+  web_up_at : float option;
+  chrome_trace_json : string;
+      (** the run's operation timeline in Chrome trace-event format
+          (viewable at ui.perfetto.dev) *)
+}
+
+val fig7 : strategy:Strategy.t -> unit -> fig7_result
+
+(** {1 Figure 8: throughput before/after the reboot} *)
+
+type before_after = {
+  first_before : float;
+  second_before : float;
+  first_after : float;
+  second_after : float;
+  degradation : float;
+      (** 1 - first_after/first_before; the paper's 91 % / 69 % *)
+}
+
+val fig8_file : strategy:Strategy.t -> unit -> before_after
+(** 512 MB file read throughput (MiB/s), 11 GiB VM. *)
+
+val fig8_web : strategy:Strategy.t -> unit -> before_after
+(** Web throughput (req/s) serving 10,000 x 512 KiB cached files.
+    [second_*] report the steady window after the first. *)
+
+(** {1 Section 5.6: fitted model} *)
+
+val section_5_6_fits : ?vm_counts:int list -> unit -> Downtime_model.fits
+(** Re-measure the model's component functions on the simulator and
+    fit lines, as the paper does from its testbed. *)

@@ -1,0 +1,137 @@
+module Vmm = Xenvmm.Vmm
+module Domain = Xenvmm.Domain
+
+type config = {
+  link_bytes_per_s : float;
+  round_overhead_s : float;
+  stop_threshold_bytes : int;
+  max_rounds : int;
+  activation_s : float;
+}
+
+let default_config =
+  {
+    link_bytes_per_s = 40.0 *. 1048576.0;
+    round_overhead_s = 1.0;
+    stop_threshold_bytes = 32 * 1048576;
+    max_rounds = 10;
+    activation_s = 0.3;
+  }
+
+let dirty_rate_of_workload = function
+  | Scenario.Ssh -> 1.0 *. 1048576.0
+  | Scenario.Jboss -> 8.0 *. 1048576.0
+  | Scenario.Web _ -> 20.0 *. 1048576.0
+
+type plan = {
+  rounds : (int * float) list;
+  precopy_s : float;
+  stop_copy_bytes : int;
+  downtime_s : float;
+  total_s : float;
+}
+
+let validate config ~dirty_bytes_per_s =
+  if dirty_bytes_per_s >= config.link_bytes_per_s then
+    invalid_arg
+      "Migration: dirty rate >= link rate, pre-copy diverges (use \
+       max_rounds = 0 for pure stop-and-copy)"
+
+(* One pre-copy iteration: sending [bytes] takes
+   [bytes/link + overhead]; meanwhile the guest dirties
+   [rate * duration] bytes that the next round must resend. *)
+let round_duration config bytes =
+  (float_of_int bytes /. config.link_bytes_per_s) +. config.round_overhead_s
+
+let plan ?(config = default_config) ~mem_bytes ~dirty_bytes_per_s () =
+  validate config ~dirty_bytes_per_s;
+  if mem_bytes <= 0 then invalid_arg "Migration.plan: mem_bytes <= 0";
+  let rec go acc_rounds remaining round =
+    if round >= config.max_rounds || remaining <= config.stop_threshold_bytes
+    then (List.rev acc_rounds, remaining)
+    else begin
+      let duration = round_duration config remaining in
+      let dirtied =
+        Stdlib.min mem_bytes
+          (int_of_float (dirty_bytes_per_s *. duration))
+      in
+      go ((remaining, duration) :: acc_rounds) dirtied (round + 1)
+    end
+  in
+  let rounds, residual = go [] mem_bytes 0 in
+  let precopy_s = List.fold_left (fun a (_, d) -> a +. d) 0.0 rounds in
+  let stop_copy_s =
+    float_of_int residual /. config.link_bytes_per_s
+  in
+  let downtime_s = stop_copy_s +. config.activation_s in
+  {
+    rounds;
+    precopy_s;
+    stop_copy_bytes = residual;
+    downtime_s;
+    total_s = precopy_s +. downtime_s;
+  }
+
+let migrate ?(config = default_config) ~src ~dst ~kernel ~dirty_bytes_per_s k =
+  validate config ~dirty_bytes_per_s;
+  let dom = Guest.Kernel.domain kernel in
+  let engine = Vmm.engine src in
+  let trace = (Vmm.host src).Hw.Host.trace in
+  if Domain.state dom <> Domain.Running then
+    k (Error (`Bad_domain_state (Domain.state dom)))
+  else begin
+    let mem_bytes = Domain.mem_bytes dom in
+    let span = Simkit.Trace.begin_span trace ("migrate " ^ Domain.name dom) in
+    (* Memory is reserved on the destination for the whole transfer. *)
+    Vmm.create_domain dst ~name:(Domain.name dom) ~mem_bytes (function
+      | Error e ->
+        Simkit.Trace.end_span trace span;
+        k (Error e)
+      | Ok new_dom ->
+        let rec precopy remaining round kdone =
+          if
+            round >= config.max_rounds
+            || remaining <= config.stop_threshold_bytes
+          then kdone remaining
+          else begin
+            let duration = round_duration config remaining in
+            Simkit.Process.delay engine duration (fun () ->
+                let dirtied =
+                  Stdlib.min mem_bytes
+                    (int_of_float (dirty_bytes_per_s *. duration))
+                in
+                precopy dirtied (round + 1) kdone)
+          end
+        in
+        precopy mem_bytes 0 (fun residual ->
+            (* Stop-and-copy: the guest's suspend handler freezes the
+               services; the residual dirty set and the execution state
+               cross the link; the domain activates on the destination. *)
+            Domain.set_state dom Domain.Suspending;
+            Domain.suspend_handler dom (fun () ->
+                Domain.set_state dom Domain.Suspended;
+                let blackout =
+                  (float_of_int residual /. config.link_bytes_per_s)
+                  +. config.activation_s
+                in
+                Simkit.Process.delay engine blackout (fun () ->
+                    Guest.Kernel.rebind kernel dst new_dom;
+                    Domain.set_state new_dom Domain.Resuming;
+                    Domain.resume_handler new_dom (fun () ->
+                        Domain.set_state new_dom Domain.Running;
+                        (* Release the source copy only after successful
+                           activation. *)
+                        Vmm.destroy_domain src dom (fun () ->
+                            Simkit.Trace.end_span trace span;
+                            k (Ok new_dom)))))))
+  end
+
+let evacuate ?config ~src ~dst ~kernels ~dirty_bytes_per_s k =
+  let rec go = function
+    | [] -> k (Ok ())
+    | kernel :: rest ->
+      migrate ?config ~src ~dst ~kernel ~dirty_bytes_per_s (function
+        | Ok _ -> go rest
+        | Error e -> k (Error e))
+  in
+  go kernels

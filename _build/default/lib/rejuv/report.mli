@@ -1,0 +1,27 @@
+(** One-page reproduction report.
+
+    Runs the headline experiments (quick reload, downtime at a given
+    scale, availability, post-reboot degradation) and renders a compact
+    paper-vs-measured summary — the "did the reproduction hold?" view
+    used by the CLI's [report] command and release checks. *)
+
+type entry = {
+  metric : string;
+  paper : string;
+  measured : string;
+  holds : bool;  (** measured within the acceptance band *)
+}
+
+type t = {
+  entries : entry list;
+  vm_count : int;
+  generated_after_s : float;  (** simulated seconds spent measuring *)
+}
+
+val run : ?vm_count:int -> unit -> t
+(** Produce the report (runs several simulations; seconds of host
+    time). [vm_count] defaults to the paper's 11. *)
+
+val all_hold : t -> bool
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,32 @@
+let version = "1.0.0"
+
+let rejuvenate scenario ~strategy =
+  match strategy with
+  | Strategy.Warm -> Warm_reboot.execute scenario
+  | Strategy.Saved -> Saved_reboot.execute scenario
+  | Strategy.Cold -> Cold_reboot.execute scenario
+
+let start_and_run scenario =
+  let engine = Scenario.engine scenario in
+  let started = ref false in
+  Scenario.start scenario (fun () -> started := true);
+  (* Step, don't drain: perpetual processes (aging injectors, probers)
+     keep the queue non-empty forever. *)
+  while (not !started) && Simkit.Engine.step engine do () done;
+  if not !started then failwith "Roothammer.start_and_run: start incomplete"
+
+let rejuvenate_blocking scenario ~strategy =
+  let engine = Scenario.engine scenario in
+  let t0 = Simkit.Engine.now engine in
+  let finished = ref false in
+  rejuvenate scenario ~strategy (fun () -> finished := true);
+  (* Step rather than drain: perpetual processes (probers, workload
+     generators) keep the queue non-empty forever. *)
+  while (not !finished) && Simkit.Engine.step engine do () done;
+  if not !finished then
+    failwith "Roothammer.rejuvenate_blocking: reboot incomplete";
+  Simkit.Engine.now engine -. t0
+
+let settle scenario ~seconds =
+  let engine = Scenario.engine scenario in
+  Simkit.Engine.run ~until:(Simkit.Engine.now engine +. seconds) engine

@@ -1,0 +1,36 @@
+(** RootHammer: warm-VM reboot for VMM rejuvenation — top-level façade.
+
+    Typical use:
+
+    {[
+      let scenario =
+        Rejuv.Scenario.create ~vm_count:11
+          ~vm_mem_bytes:(Simkit.Units.gib 1) ~workload:Rejuv.Scenario.Ssh ()
+      in
+      Rejuv.Roothammer.start_and_run scenario;
+      let run =
+        Rejuv.Experiment.run_reboot ~strategy:Rejuv.Strategy.Warm
+          ~vm_count:11 ~vm_mem_bytes:(Simkit.Units.gib 1) ()
+      in
+      Format.printf "downtime: %.1f s@." run.Rejuv.Experiment.downtime_mean_s
+    ]} *)
+
+val version : string
+
+val rejuvenate : Scenario.t -> strategy:Strategy.t -> Simkit.Process.task
+(** One VMM rejuvenation of a running scenario with the given
+    strategy. *)
+
+val start_and_run : Scenario.t -> unit
+(** Boot the scenario's testbed and drive the engine until it is fully
+    up. Convenience for examples and quick scripts. *)
+
+val rejuvenate_blocking : Scenario.t -> strategy:Strategy.t -> float
+(** Run one rejuvenation to completion, driving the engine; returns the
+    wall-clock (simulated) duration of the whole procedure. Safe with
+    perpetual background processes (probers, workloads): the engine is
+    stepped, not drained. *)
+
+val settle : Scenario.t -> seconds:float -> unit
+(** Advance the engine a fixed amount of simulated time — e.g. to let
+    probers observe a recovery before reading their measurements. *)

@@ -1,0 +1,52 @@
+module Vmm = Xenvmm.Vmm
+
+let execute scenario k =
+  let vmm = Scenario.vmm scenario in
+  let cal = Scenario.calibration scenario in
+  let engine = Scenario.engine scenario in
+  let tr = Scenario.trace scenario in
+  Simkit.Trace.instant tr "reboot command (saved)";
+  (* dom0 drives the suspends while it is still up (the original Xen
+     design the paper contrasts with): all saves run concurrently and
+     contend for the one disk. *)
+  Simkit.Process.delay engine cal.Calibration.save_dispatch_delay_s (fun () ->
+      let pre = Simkit.Trace.begin_span tr "pre-reboot tasks" in
+      Simkit.Process.par
+        (List.map
+           (fun v k ->
+             Vmm.save_domain_to_disk vmm (Scenario.vm_domain v) (function
+               | Ok () -> k ()
+               | Error e -> failwith (Vmm.error_message e)))
+           (Scenario.vms scenario))
+        (fun () ->
+          Simkit.Trace.end_span tr pre;
+          let reboot = Simkit.Trace.begin_span tr "vmm reboot" in
+          Vmm.shutdown_dom0 vmm (fun () ->
+              Vmm.shutdown_vmm vmm (fun () ->
+                  Vmm.hardware_reset vmm (fun () ->
+                      Vmm.boot_dom0 vmm (fun () ->
+                          Simkit.Trace.end_span tr reboot;
+                          let post =
+                            Simkit.Trace.begin_span tr "post-reboot tasks"
+                          in
+                          (* Restores run serially through the toolstack
+                             (each a sequential read of its image) — or
+                             concurrently under the ablation knob, where
+                             the interleaved reads contend for the
+                             spindle. *)
+                          let restore_one v k =
+                            Vmm.restore_domain_from_disk vmm
+                              ~name:(Scenario.vm_name v) (function
+                              | Ok _ -> k ()
+                              | Error e -> failwith (Vmm.error_message e))
+                          in
+                          let combine =
+                            if cal.Calibration.parallel_restore then
+                              Simkit.Process.par
+                            else Simkit.Process.seq
+                          in
+                          combine
+                            (List.map restore_one (Scenario.vms scenario))
+                            (fun () ->
+                              Simkit.Trace.end_span tr post;
+                              k ())))))))

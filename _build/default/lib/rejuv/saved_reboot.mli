@@ -1,0 +1,11 @@
+(** The saved-VM reboot baseline: stock Xen suspend/resume.
+
+    Every domain's whole memory image is written to the (single,
+    contended) disk before the reboot and read back afterwards, so both
+    phases scale with total guest memory — the behaviour Figures 4 and 5
+    show growing into hundreds of seconds. The reboot in the middle is a
+    normal hardware reset. Services are not restarted (the images
+    preserve them), but they are unreachable from the moment their VM
+    starts saving. *)
+
+val execute : Scenario.t -> Simkit.Process.task

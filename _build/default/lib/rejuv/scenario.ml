@@ -1,0 +1,164 @@
+module Vmm = Xenvmm.Vmm
+module Domain = Xenvmm.Domain
+
+type workload =
+  | Ssh
+  | Jboss
+  | Web of { file_count : int; file_bytes : int; warm_cache : bool }
+
+let workload_name = function
+  | Ssh -> "ssh"
+  | Jboss -> "jboss"
+  | Web _ -> "web"
+
+type vm = {
+  vname : string;
+  vmem : int;
+  vworkload : workload;
+  vdriver : bool;
+  mutable vdomain : Domain.t;
+  mutable vkernel : Guest.Kernel.t;
+  mutable vhttpd : Guest.Httpd.t option;
+}
+
+let vm_name v = v.vname
+let vm_mem_bytes v = v.vmem
+let vm_workload v = v.vworkload
+let vm_is_driver v = v.vdriver
+let vm_kernel v = v.vkernel
+let vm_domain v = v.vdomain
+let vm_services v = Guest.Kernel.services v.vkernel
+let vm_httpd v = v.vhttpd
+
+let vm_is_up v =
+  let services = vm_services v in
+  services <> []
+  && List.for_all (Guest.Kernel.service_reachable v.vkernel) services
+
+type t = {
+  cal : Calibration.t;
+  eng : Simkit.Engine.t;
+  hw_host : Hw.Host.t;
+  hypervisor : Vmm.t;
+  mutable vm_list : vm list;
+  scenario_rng : Simkit.Rng.t;
+}
+
+let engine t = t.eng
+let host t = t.hw_host
+let vmm t = t.hypervisor
+let calibration t = t.cal
+let vms t = t.vm_list
+let rng t = t.scenario_rng
+let trace t = t.hw_host.Hw.Host.trace
+
+(* Build kernel + services for a VM whose domain exists. *)
+let outfit_vm t v =
+  let kernel =
+    Guest.Kernel.create t.hypervisor v.vdomain
+      ~timing:t.cal.Calibration.kernel_timing ()
+  in
+  v.vkernel <- kernel;
+  v.vhttpd <- None;
+  match v.vworkload with
+  | Ssh -> ignore (Guest.Sshd.install kernel)
+  | Jboss -> ignore (Guest.Jboss.install kernel)
+  | Web { file_count; file_bytes; warm_cache = _ } ->
+    (* "All files cached on memory" is established by [warm_web_caches]
+       after the OS has booted (boot clears the cache). *)
+    let httpd = Guest.Httpd.install kernel ~nic:t.hw_host.Hw.Host.nic () in
+    ignore (Guest.Httpd.populate httpd ~file_count ~file_bytes);
+    v.vhttpd <- Some httpd
+
+let warm_web_caches t =
+  List.iter
+    (fun v ->
+      match (v.vworkload, v.vhttpd) with
+      | Web { warm_cache = true; _ }, Some httpd -> Guest.Httpd.warm_all httpd
+      | _ -> ())
+    t.vm_list
+
+let provision_vm t v k =
+  Vmm.create_domain t.hypervisor ~name:v.vname ~mem_bytes:v.vmem (function
+    | Error e -> failwith (Vmm.error_message e)
+    | Ok domain ->
+      if v.vdriver then Domain.set_suspendable domain false;
+      v.vdomain <- domain;
+      outfit_vm t v;
+      Guest.Kernel.boot v.vkernel k)
+
+let create ?(calibration = Calibration.default) ?(seed = 42) ?engine
+    ?(name_prefix = "") ?(driver_vm_count = 0) ~vm_count ~vm_mem_bytes
+    ~workload () =
+  if vm_count < 0 then invalid_arg "Scenario.create: negative vm_count";
+  if driver_vm_count < 0 then
+    invalid_arg "Scenario.create: negative driver_vm_count";
+  let eng =
+    match engine with
+    | Some e -> e
+    | None -> Simkit.Engine.create ~seed ()
+  in
+  let hw_host = Hw.Host.create ~config:calibration.Calibration.host eng in
+  let scrub_policy =
+    if calibration.Calibration.scrub_free_only then `Free_only else `All
+  in
+  let hypervisor =
+    Vmm.create ~timing:calibration.Calibration.vmm_timing ~scrub_policy
+      hw_host
+  in
+  let t =
+    {
+      cal = calibration;
+      eng;
+      hw_host;
+      hypervisor;
+      vm_list = [];
+      scenario_rng = Simkit.Rng.split (Simkit.Engine.rng eng);
+    }
+  in
+  let make_vm ~vname ~vdriver i =
+    (* Placeholder domain/kernel; provisioned for real at [start]. *)
+    let vdomain =
+      Domain.create ~id:(-1 - i) ~name:vname ~kind:Domain.DomU
+        ~mem_bytes:vm_mem_bytes
+    in
+    let vkernel =
+      Guest.Kernel.create hypervisor vdomain
+        ~timing:calibration.Calibration.kernel_timing ()
+    in
+    { vname; vmem = vm_mem_bytes; vworkload = workload; vdriver; vdomain;
+      vkernel; vhttpd = None }
+  in
+  let ordinary =
+    List.init vm_count (fun i ->
+        make_vm
+          ~vname:(Printf.sprintf "%svm%02d" name_prefix (i + 1))
+          ~vdriver:false i)
+  in
+  let drivers =
+    List.init driver_vm_count (fun i ->
+        make_vm
+          ~vname:(Printf.sprintf "%sdriver%02d" name_prefix (i + 1))
+          ~vdriver:true (vm_count + i))
+  in
+  t.vm_list <- ordinary @ drivers;
+  t
+
+let start t k =
+  Vmm.power_on t.hypervisor (fun () ->
+      Simkit.Process.par (List.map (fun v -> provision_vm t v) t.vm_list)
+        (fun () ->
+          warm_web_caches t;
+          k ()))
+
+let attach_probers t ?interval_s () =
+  List.map
+    (fun v ->
+      let p =
+        Netsim.Prober.create t.eng ~name:v.vname ?interval_s
+          ~is_up:(fun () -> vm_is_up v)
+          ()
+      in
+      Netsim.Prober.start p;
+      p)
+    t.vm_list

@@ -1,0 +1,71 @@
+(** The consolidated-server testbed: one host, one VMM, [n] domain Us
+    each running one workload.
+
+    A {!vm} keeps a stable identity across VMM reboots even when the
+    underlying domain is destroyed and re-created (the cold path), so
+    probers and experiments can measure "the service in VM 3" across the
+    whole timeline. *)
+
+type workload =
+  | Ssh
+  | Jboss
+  | Web of { file_count : int; file_bytes : int; warm_cache : bool }
+
+val workload_name : workload -> string
+
+type vm
+
+val vm_name : vm -> string
+val vm_mem_bytes : vm -> int
+val vm_workload : vm -> workload
+
+(** [vm_is_driver vm]: driver domains run device drivers and cannot be
+    suspended; a warm-VM reboot shuts them down and reboots them
+    (Section 7). *)
+val vm_is_driver : vm -> bool
+val vm_kernel : vm -> Guest.Kernel.t
+val vm_domain : vm -> Xenvmm.Domain.t
+val vm_services : vm -> Guest.Service.t list
+val vm_httpd : vm -> Guest.Httpd.t option
+
+val vm_is_up : vm -> bool
+(** All of the VM's services reachable — the prober predicate. *)
+
+type t
+
+val create :
+  ?calibration:Calibration.t ->
+  ?seed:int ->
+  ?engine:Simkit.Engine.t ->
+  ?name_prefix:string ->
+  ?driver_vm_count:int ->
+  vm_count:int ->
+  vm_mem_bytes:int ->
+  workload:workload ->
+  unit ->
+  t
+(** Builds engine, host and powered-off VMM plus VM descriptors.
+    [driver_vm_count] (default 0) adds that many non-suspendable driver
+    domains on top of the ordinary VMs. Pass [engine] to place several
+    scenarios (hosts) in one simulation — a cluster; [name_prefix]
+    keeps their VM names distinct. *)
+
+val engine : t -> Simkit.Engine.t
+val host : t -> Hw.Host.t
+val vmm : t -> Xenvmm.Vmm.t
+val calibration : t -> Calibration.t
+val vms : t -> vm list
+val rng : t -> Simkit.Rng.t
+val trace : t -> Simkit.Trace.t
+
+val start : t -> Simkit.Process.task
+(** Power the machine on, build every domain, boot every guest OS and
+    start its services; optionally warm web caches. After this task
+    completes, every VM answers. *)
+
+val provision_vm : t -> vm -> Simkit.Process.task
+(** (Re)build a VM from scratch: fresh domain, fresh kernel, fresh
+    services, then boot — used at start-up and by the cold-VM reboot. *)
+
+val attach_probers : t -> ?interval_s:float -> unit -> Netsim.Prober.t list
+(** One started prober per VM, probing {!vm_is_up}. *)

@@ -1,0 +1,23 @@
+type t = Warm | Saved | Cold
+
+let all = [ Warm; Saved; Cold ]
+
+let name = function
+  | Warm -> "warm-VM reboot"
+  | Saved -> "saved-VM reboot"
+  | Cold -> "cold-VM reboot"
+
+let of_string s =
+  match String.lowercase_ascii s with
+  | "warm" | "warm-vm" | "warm-vm reboot" -> Some Warm
+  | "saved" | "saved-vm" | "saved-vm reboot" -> Some Saved
+  | "cold" | "cold-vm" | "cold-vm reboot" -> Some Cold
+  | _ -> None
+
+let pp ppf t = Format.pp_print_string ppf (name t)
+
+let preserves_memory_images = function Warm | Saved -> true | Cold -> false
+
+let requires_hardware_reset = function Warm -> false | Saved | Cold -> true
+
+let restarts_services = function Cold -> true | Warm | Saved -> false

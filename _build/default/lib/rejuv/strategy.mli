@@ -1,0 +1,18 @@
+(** The three VMM rejuvenation strategies the paper compares. *)
+
+type t =
+  | Warm  (** warm-VM reboot: on-memory suspend/resume + quick reload *)
+  | Saved  (** saved-VM reboot: stock Xen suspend/resume through disk *)
+  | Cold  (** cold-VM reboot: guest shutdown + hardware reset + boot *)
+
+val all : t list
+val name : t -> string
+val of_string : string -> t option
+val pp : Format.formatter -> t -> unit
+
+val preserves_memory_images : t -> bool
+(** Whether guest memory images (and hence page caches and running
+    processes) survive the VMM reboot. *)
+
+val requires_hardware_reset : t -> bool
+val restarts_services : t -> bool

@@ -1,0 +1,94 @@
+module Vmm = Xenvmm.Vmm
+
+let resume_all scenario k =
+  let vmm = Scenario.vmm scenario in
+  let cal = Scenario.calibration scenario in
+  let engine = Scenario.engine scenario in
+  let suspended =
+    List.filter (fun v -> not (Scenario.vm_is_driver v)) (Scenario.vms scenario)
+  in
+  (* xend resumes the domains one at a time. *)
+  let resume_one v k =
+    Simkit.Process.delay engine cal.Calibration.resume_dispatch_s (fun () ->
+        Vmm.resume_domain_on_memory vmm (Scenario.vm_domain v) (function
+          | Ok () -> k ()
+          | Error e -> failwith (Vmm.error_message e)))
+  in
+  Simkit.Process.seq (List.map resume_one suspended) k
+
+let apply_network_artifact scenario =
+  let cal = Scenario.calibration scenario in
+  if
+    cal.Calibration.enable_warm_artifact
+    && List.length (Scenario.vms scenario) > 1
+  then begin
+    let nic = (Scenario.host scenario).Hw.Host.nic in
+    Hw.Nic.set_degradation nic ~factor:cal.Calibration.warm_artifact_factor;
+    ignore
+      (Simkit.Engine.schedule (Scenario.engine scenario)
+         ~delay:cal.Calibration.warm_artifact_duration_s (fun () ->
+           Hw.Nic.clear_degradation nic))
+  end
+
+(* Driver domains cannot be suspended (Section 7): like the cold path,
+   they are shut down before the reload and re-provisioned after. *)
+let shutdown_drivers scenario drivers k =
+  let vmm = Scenario.vmm scenario in
+  Simkit.Process.par
+    (List.map (fun v -> Guest.Kernel.shutdown (Scenario.vm_kernel v)) drivers)
+    (fun () ->
+      Simkit.Process.par
+        (List.map
+           (fun v k -> Vmm.destroy_domain vmm (Scenario.vm_domain v) k)
+           drivers)
+        k)
+
+let reprovision_drivers scenario drivers k =
+  Simkit.Process.par
+    (List.map (fun v -> Scenario.provision_vm scenario v) drivers)
+    k
+
+let execute scenario k =
+  let vmm = Scenario.vmm scenario in
+  let cal = Scenario.calibration scenario in
+  let tr = Scenario.trace scenario in
+  Simkit.Trace.instant tr "reboot command (warm)";
+  let drivers = List.filter Scenario.vm_is_driver (Scenario.vms scenario) in
+  let suspend k =
+    let pre = Simkit.Trace.begin_span tr "pre-reboot tasks" in
+    Vmm.suspend_all_on_memory vmm (fun () ->
+        Simkit.Trace.end_span tr pre;
+        k ())
+  in
+  let dom0_down k = Vmm.shutdown_dom0 vmm k in
+  (* RootHammer delays the suspend until after dom0's shutdown so the
+     services answer as long as possible; the ablation knob restores the
+     original-Xen ordering where dom0 drives the suspends while it is
+     itself going down. *)
+  let preamble k =
+    if cal.Calibration.suspend_before_dom0_shutdown then
+      suspend (fun () -> dom0_down k)
+    else dom0_down (fun () -> suspend k)
+  in
+  (* dom0 stages the new executable image (xexec) while it is still up,
+     so the image's disk read stays outside the outage. *)
+  let stage_image k =
+    Vmm.xexec_load vmm (function
+      | Ok () -> k ()
+      | Error e -> failwith (Vmm.error_message e))
+  in
+  stage_image (fun () ->
+  shutdown_drivers scenario drivers (fun () ->
+      preamble (fun () ->
+          let reboot = Simkit.Trace.begin_span tr "vmm reboot" in
+          Vmm.quick_reload vmm (function
+            | Error e -> failwith (Vmm.error_message e)
+            | Ok () ->
+              Vmm.boot_dom0 vmm (fun () ->
+                  Simkit.Trace.end_span tr reboot;
+                  let post = Simkit.Trace.begin_span tr "post-reboot tasks" in
+                  resume_all scenario (fun () ->
+                      reprovision_drivers scenario drivers (fun () ->
+                          Simkit.Trace.end_span tr post;
+                          apply_network_artifact scenario;
+                          k ())))))))

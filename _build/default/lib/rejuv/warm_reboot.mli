@@ -1,0 +1,24 @@
+(** The warm-VM reboot — the paper's contribution.
+
+    Sequence (Sections 3.1 and 4):
+
+    + dom0 runs its shutdown script — guest services keep answering,
+      which alone buys several seconds of uptime over the cold path;
+    + the VMM (not dom0) sends suspend events to every domain U and
+      freezes each memory image in place (on-memory suspend);
+    + the VMM reboots itself through the xexec quick-reload path — no
+      hardware reset, frozen images re-reserved before the scrub;
+    + dom0 boots; the toolstack resumes each domain U from its frozen
+      image (on-memory resume); page caches and processes are intact;
+    + optionally, the transient network degradation Xen shows after
+      creating many domains at once is modelled for
+      [warm_artifact_duration_s].
+
+    Trace spans emitted (on the host trace): ["pre-reboot tasks"],
+    ["vmm reboot"], ["post-reboot tasks"] plus the finer-grained spans
+    from the VMM layer. *)
+
+val execute : Scenario.t -> Simkit.Process.task
+(** Run one warm-VM reboot of the scenario's host. The task completes
+    when every VM answers again (and any artifact window has been set
+    up — the artifact outlives the task). *)

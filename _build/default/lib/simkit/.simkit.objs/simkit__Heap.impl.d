@@ -1,0 +1,1 @@
+lib/simkit/heap.ml: Array

@@ -1,0 +1,1 @@
+lib/simkit/sampler.ml: Engine List Series Stat

@@ -1,0 +1,1 @@
+lib/simkit/sampler.mli: Engine Series

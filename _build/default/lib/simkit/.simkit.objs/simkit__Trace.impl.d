@@ -1,0 +1,1 @@
+lib/simkit/trace.ml: Buffer Char Engine Format Fun List Printf String

@@ -1,0 +1,68 @@
+type handle = { mutable cancelled : bool; action : unit -> unit }
+
+type t = {
+  mutable clock : float;
+  queue : handle Heap.t;
+  mutable processed : int;
+  root_rng : Rng.t;
+}
+
+let create ?(seed = 42) () =
+  { clock = 0.0; queue = Heap.create (); processed = 0; root_rng = Rng.create seed }
+
+let now t = t.clock
+
+let rng t = t.root_rng
+
+let schedule_at t ~time action =
+  if time < t.clock then
+    invalid_arg
+      (Printf.sprintf "Engine.schedule_at: time %g is before now %g" time
+         t.clock);
+  let h = { cancelled = false; action } in
+  Heap.add t.queue ~key:time h;
+  h
+
+let schedule t ~delay action =
+  if delay < 0.0 then invalid_arg "Engine.schedule: negative delay";
+  schedule_at t ~time:(t.clock +. delay) action
+
+let cancel _t h = h.cancelled <- true
+
+let pending t = Heap.length t.queue
+
+let events_processed t = t.processed
+
+let rec step t =
+  match Heap.pop t.queue with
+  | None -> false
+  | Some (time, h) ->
+    if h.cancelled then step t
+    else begin
+      t.clock <- time;
+      t.processed <- t.processed + 1;
+      h.action ();
+      true
+    end
+
+(* Discard cancelled entries sitting at the head so that [Heap.min]
+   reflects the next event that will actually fire. *)
+let rec next_live t =
+  match Heap.min t.queue with
+  | Some (_, h) when h.cancelled ->
+    ignore (Heap.pop t.queue);
+    next_live t
+  | other -> other
+
+let run ?until t =
+  match until with
+  | None -> while step t do () done
+  | Some limit ->
+    let continue = ref true in
+    while !continue do
+      match next_live t with
+      | Some (time, _) when time <= limit ->
+        if not (step t) then continue := false
+      | Some _ | None -> continue := false
+    done;
+    if limit > t.clock then t.clock <- limit

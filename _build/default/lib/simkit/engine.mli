@@ -1,0 +1,49 @@
+(** Discrete-event simulation engine.
+
+    The engine owns a virtual clock and an event queue. Every timed
+    behaviour in the simulator — disk transfers, OS boots, rejuvenation
+    steps, workload probes — is expressed as callbacks scheduled on an
+    engine. Execution is fully deterministic: events fire in
+    (time, insertion order). *)
+
+type t
+
+type handle
+(** A scheduled event, usable for cancellation. *)
+
+val create : ?seed:int -> unit -> t
+(** Fresh engine with the clock at 0. [seed] (default 42) seeds the
+    engine's root random stream. *)
+
+val now : t -> float
+(** Current simulated time in seconds. *)
+
+val rng : t -> Rng.t
+(** The engine's root random stream. Subsystems should [Rng.split] it. *)
+
+val schedule_at : t -> time:float -> (unit -> unit) -> handle
+(** Run a callback at an absolute time. Raises [Invalid_argument] when
+    [time] is in the simulated past. *)
+
+val schedule : t -> delay:float -> (unit -> unit) -> handle
+(** Run a callback [delay] seconds from now. Negative delays are
+    rejected; a zero delay runs after already-pending events at the
+    current time. *)
+
+val cancel : t -> handle -> unit
+(** Cancel a pending event. Cancelling an already-fired or cancelled
+    event is a no-op. *)
+
+val pending : t -> int
+(** Number of events still queued (including cancelled placeholders). *)
+
+val events_processed : t -> int
+(** Number of callbacks executed so far. *)
+
+val step : t -> bool
+(** Execute the next event. [false] when the queue is empty. *)
+
+val run : ?until:float -> t -> unit
+(** Execute events until the queue empties, or (with [until]) until the
+    next event would fire strictly after [until]; the clock is then
+    advanced to [until]. *)

@@ -1,0 +1,86 @@
+type 'a entry = { key : float; seq : int; value : 'a }
+
+type 'a t = {
+  mutable data : 'a entry array;
+  mutable size : int;
+  mutable next_seq : int;
+}
+
+let initial_capacity = 16
+
+let create () = { data = [||]; size = 0; next_seq = 0 }
+
+let length t = t.size
+
+let is_empty t = t.size = 0
+
+(* [e1] sorts before [e2] when its key is smaller, with the insertion
+   sequence number breaking ties so that equal-key entries stay FIFO. *)
+let before e1 e2 =
+  e1.key < e2.key || (e1.key = e2.key && e1.seq < e2.seq)
+
+let grow t =
+  let capacity = Array.length t.data in
+  if t.size = capacity then begin
+    let new_capacity = if capacity = 0 then initial_capacity else 2 * capacity in
+    let data = Array.make new_capacity t.data.(0) in
+    Array.blit t.data 0 data 0 t.size;
+    t.data <- data
+  end
+
+let rec sift_up t i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if before t.data.(i) t.data.(parent) then begin
+      let tmp = t.data.(i) in
+      t.data.(i) <- t.data.(parent);
+      t.data.(parent) <- tmp;
+      sift_up t parent
+    end
+  end
+
+let rec sift_down t i =
+  let left = (2 * i) + 1 and right = (2 * i) + 2 in
+  let smallest = ref i in
+  if left < t.size && before t.data.(left) t.data.(!smallest) then
+    smallest := left;
+  if right < t.size && before t.data.(right) t.data.(!smallest) then
+    smallest := right;
+  if !smallest <> i then begin
+    let tmp = t.data.(i) in
+    t.data.(i) <- t.data.(!smallest);
+    t.data.(!smallest) <- tmp;
+    sift_down t !smallest
+  end
+
+let add t ~key value =
+  let entry = { key; seq = t.next_seq; value } in
+  t.next_seq <- t.next_seq + 1;
+  if t.size = 0 && Array.length t.data = 0 then
+    t.data <- Array.make initial_capacity entry
+  else grow t;
+  t.data.(t.size) <- entry;
+  t.size <- t.size + 1;
+  sift_up t (t.size - 1)
+
+let min t =
+  if t.size = 0 then None
+  else
+    let e = t.data.(0) in
+    Some (e.key, e.value)
+
+let pop t =
+  if t.size = 0 then None
+  else begin
+    let e = t.data.(0) in
+    t.size <- t.size - 1;
+    if t.size > 0 then begin
+      t.data.(0) <- t.data.(t.size);
+      sift_down t 0
+    end;
+    Some (e.key, e.value)
+  end
+
+let clear t =
+  t.size <- 0;
+  t.data <- [||]

@@ -1,0 +1,27 @@
+(** Stable binary min-heap keyed by a float priority.
+
+    Entries with equal keys are returned in insertion order, which the
+    simulation engine relies on to make event execution deterministic. *)
+
+type 'a t
+
+val create : unit -> 'a t
+(** [create ()] is an empty heap. *)
+
+val length : 'a t -> int
+(** Number of entries currently in the heap. *)
+
+val is_empty : 'a t -> bool
+
+val add : 'a t -> key:float -> 'a -> unit
+(** [add t ~key v] inserts [v] with priority [key]. O(log n). *)
+
+val min : 'a t -> (float * 'a) option
+(** Smallest entry without removing it, or [None] if empty. O(1). *)
+
+val pop : 'a t -> (float * 'a) option
+(** Remove and return the smallest entry. Ties are popped in insertion
+    order. O(log n). *)
+
+val clear : 'a t -> unit
+(** Remove every entry. *)

@@ -1,0 +1,39 @@
+type t = {
+  engine : Engine.t;
+  interval : float;
+  gauge : unit -> float;
+  data : Series.t;
+  mutable running : bool;
+}
+
+let rec tick t =
+  if t.running then begin
+    Series.add t.data ~time:(Engine.now t.engine) (t.gauge ());
+    ignore (Engine.schedule t.engine ~delay:t.interval (fun () -> tick t))
+  end
+
+let start engine ?(name = "sampler") ~interval_s ~gauge () =
+  if interval_s <= 0.0 then invalid_arg "Sampler.start: interval <= 0";
+  let t =
+    {
+      engine;
+      interval = interval_s;
+      gauge;
+      data = Series.create ~name ();
+      running = true;
+    }
+  in
+  tick t;
+  t
+
+let series t = t.data
+let stop t = t.running <- false
+let is_running t = t.running
+
+let samples_between t ~lo ~hi =
+  List.map snd (Series.between t.data ~lo ~hi)
+
+let mean_between t ~lo ~hi =
+  match samples_between t ~lo ~hi with
+  | [] -> invalid_arg "Sampler.mean_between: no samples in window"
+  | xs -> Stat.mean xs

@@ -1,0 +1,27 @@
+(** Periodic sampling of a gauge into a {!Series.t}.
+
+    Wraps the schedule-read-reschedule loop used for utilization and
+    throughput monitoring. The sampler is a perpetual process: engines
+    running it should be driven with [run ~until] or [step], not
+    drained. *)
+
+type t
+
+val start :
+  Engine.t ->
+  ?name:string ->
+  interval_s:float ->
+  gauge:(unit -> float) ->
+  unit ->
+  t
+(** Begin sampling [gauge] every [interval_s], starting now. *)
+
+val series : t -> Series.t
+val stop : t -> unit
+val is_running : t -> bool
+
+val samples_between : t -> lo:float -> hi:float -> float list
+(** Gauge values observed in a closed time window. *)
+
+val mean_between : t -> lo:float -> hi:float -> float
+(** Mean over a window; raises [Invalid_argument] when no samples. *)

@@ -1,0 +1,79 @@
+type t = { series_name : string; mutable samples : (float * float) list }
+(* Samples are kept newest-first and reversed on read. *)
+
+let create ?(name = "series") () = { series_name = name; samples = [] }
+
+let name t = t.series_name
+
+let add t ~time value = t.samples <- (time, value) :: t.samples
+
+let length t = List.length t.samples
+
+let to_list t = List.rev t.samples
+
+let values t = List.rev_map snd t.samples
+
+let last t = match t.samples with [] -> None | s :: _ -> Some s
+
+let between t ~lo ~hi =
+  List.filter (fun (time, _) -> time >= lo && time <= hi) (to_list t)
+
+let fold_values f init t =
+  List.fold_left (fun acc (_, v) -> f acc v) init t.samples
+
+let min_value t =
+  match t.samples with
+  | [] -> None
+  | (_, v) :: _ -> Some (fold_values Float.min v t)
+
+let max_value t =
+  match t.samples with
+  | [] -> None
+  | (_, v) :: _ -> Some (fold_values Float.max v t)
+
+module Counter = struct
+  type t = { counter_name : string; mutable events : float list; mutable count : int }
+  (* Timestamps newest-first. *)
+
+  let create ?(name = "counter") () =
+    { counter_name = name; events = []; count = 0 }
+
+  let record t ~time =
+    t.events <- time :: t.events;
+    t.count <- t.count + 1
+
+  let total t = t.count
+
+  let rate_series t ~window ?until () =
+    if window <= 0.0 then invalid_arg "Counter.rate_series: window <= 0";
+    let events = List.rev t.events in
+    let horizon =
+      match (until, t.events) with
+      | Some u, _ -> u
+      | None, latest :: _ -> latest
+      | None, [] -> 0.0
+    in
+    let buckets = int_of_float (Float.ceil (horizon /. window)) in
+    let counts = Array.make (Stdlib.max buckets 1) 0 in
+    List.iter
+      (fun time ->
+        let idx = int_of_float (time /. window) in
+        if idx >= 0 && idx < Array.length counts then
+          counts.(idx) <- counts.(idx) + 1)
+      events;
+    Array.to_list
+      (Array.mapi
+         (fun i c ->
+           let window_end = float_of_int (i + 1) *. window in
+           (window_end, float_of_int c /. window))
+         counts)
+
+  let rate_between t ~lo ~hi =
+    if hi <= lo then invalid_arg "Counter.rate_between: empty interval";
+    let n =
+      List.fold_left
+        (fun acc time -> if time >= lo && time <= hi then acc + 1 else acc)
+        0 t.events
+    in
+    float_of_int n /. (hi -. lo)
+end

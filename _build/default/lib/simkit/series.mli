@@ -1,0 +1,43 @@
+(** Time-series collection for experiment output.
+
+    {!t} stores raw (time, value) samples; {!Counter} turns discrete
+    events (e.g. completed HTTP requests) into a windowed rate series,
+    which is how the paper reports web-server throughput over time. *)
+
+type t
+
+val create : ?name:string -> unit -> t
+val name : t -> string
+val add : t -> time:float -> float -> unit
+val length : t -> int
+
+val to_list : t -> (float * float) list
+(** Samples in insertion (time) order. *)
+
+val values : t -> float list
+val last : t -> (float * float) option
+
+val between : t -> lo:float -> hi:float -> (float * float) list
+(** Samples with [lo <= time <= hi]. *)
+
+val min_value : t -> float option
+val max_value : t -> float option
+
+(** Event counter with rate sampling. *)
+module Counter : sig
+  type nonrec t
+
+  val create : ?name:string -> unit -> t
+  val record : t -> time:float -> unit
+  (** Note one event (e.g. one served request) at a timestamp. *)
+
+  val total : t -> int
+
+  val rate_series : t -> window:float -> ?until:float -> unit -> (float * float) list
+  (** Events per second in consecutive windows of [window] seconds,
+      starting at time 0 and covering through the last event (or
+      [until]). Each sample is (window end time, rate). *)
+
+  val rate_between : t -> lo:float -> hi:float -> float
+  (** Average events per second over a closed interval. *)
+end

@@ -1,0 +1,1 @@
+lib/xenvmm/aging.ml: List Simkit Vmm Vmm_heap

@@ -1,0 +1,1 @@
+lib/xenvmm/aging.mli: Vmm

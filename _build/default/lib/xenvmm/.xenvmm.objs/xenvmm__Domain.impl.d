@@ -1,0 +1,1 @@
+lib/xenvmm/domain.ml: Event_channel Format Hw List P2m Printf Simkit String

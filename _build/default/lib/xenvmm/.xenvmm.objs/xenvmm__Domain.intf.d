@@ -1,0 +1,1 @@
+lib/xenvmm/domain.mli: Event_channel Format Hw P2m Simkit

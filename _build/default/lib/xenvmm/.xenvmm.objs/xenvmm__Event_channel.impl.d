@@ -1,0 +1,1 @@
+lib/xenvmm/event_channel.ml: Hashtbl List Simkit

@@ -1,0 +1,1 @@
+lib/xenvmm/event_channel.mli: Simkit

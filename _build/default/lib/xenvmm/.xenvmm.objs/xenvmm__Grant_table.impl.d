@@ -1,0 +1,1 @@
+lib/xenvmm/grant_table.ml: Domain Hashtbl List Printf

@@ -1,0 +1,1 @@
+lib/xenvmm/grant_table.mli: Domain

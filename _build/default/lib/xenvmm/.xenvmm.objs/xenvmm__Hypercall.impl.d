@@ -1,0 +1,1 @@
+lib/xenvmm/hypercall.ml: Domain Format

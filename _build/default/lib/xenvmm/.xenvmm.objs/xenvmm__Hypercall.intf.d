@@ -1,0 +1,1 @@
+lib/xenvmm/hypercall.mli: Domain Format

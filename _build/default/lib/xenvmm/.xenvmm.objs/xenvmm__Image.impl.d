@@ -1,0 +1,1 @@
+lib/xenvmm/image.ml: Format Simkit

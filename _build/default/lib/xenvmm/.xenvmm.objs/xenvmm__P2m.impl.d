@@ -1,0 +1,1 @@
+lib/xenvmm/p2m.ml: Hw Int List Map Simkit Stdlib

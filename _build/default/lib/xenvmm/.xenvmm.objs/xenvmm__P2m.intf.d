@@ -1,0 +1,1 @@
+lib/xenvmm/p2m.mli: Hw

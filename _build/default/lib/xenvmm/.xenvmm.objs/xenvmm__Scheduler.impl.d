@@ -1,0 +1,1 @@
+lib/xenvmm/scheduler.ml: Domain Float Hashtbl List Option Simkit

@@ -1,0 +1,1 @@
+lib/xenvmm/scheduler.mli: Domain Simkit

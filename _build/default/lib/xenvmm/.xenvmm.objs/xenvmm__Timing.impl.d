@@ -1,0 +1,1 @@
+lib/xenvmm/timing.ml: Simkit

@@ -1,0 +1,1 @@
+lib/xenvmm/vmm.ml: Domain Event_channel Format Grant_table Hashtbl Hw Hypercall Image List Logs Option P2m Printf Scheduler Simkit String Timing Vmm_heap Xenstore

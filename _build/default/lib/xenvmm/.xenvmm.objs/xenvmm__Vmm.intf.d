@@ -1,0 +1,1 @@
+lib/xenvmm/vmm.mli: Domain Event_channel Grant_table Hw Hypercall Image Scheduler Simkit Timing Vmm_heap Xenstore

@@ -1,0 +1,1 @@
+lib/xenvmm/vmm_heap.ml: Hashtbl List Option Printf Stdlib String

@@ -1,0 +1,1 @@
+lib/xenvmm/vmm_heap.mli:

@@ -1,0 +1,69 @@
+type port = int
+
+type status = Unbound | Bound | Closed
+
+type entry = {
+  owner : int;
+  mutable state : status;
+  mutable handler : (unit -> unit) option;
+}
+
+type t = { mutable next_port : int; table : (port, entry) Hashtbl.t }
+
+let create () = { next_port = 1; table = Hashtbl.create 32 }
+
+let alloc_unbound t ~domid =
+  let port = t.next_port in
+  t.next_port <- port + 1;
+  Hashtbl.replace t.table port { owner = domid; state = Unbound; handler = None };
+  port
+
+let bind t port ~handler =
+  match Hashtbl.find_opt t.table port with
+  | None -> invalid_arg "Event_channel.bind: unknown port"
+  | Some e -> (
+    match e.state with
+    | Closed -> invalid_arg "Event_channel.bind: port closed"
+    | Unbound | Bound ->
+      e.state <- Bound;
+      e.handler <- Some handler)
+
+let notify t engine port =
+  match Hashtbl.find_opt t.table port with
+  | Some { state = Bound; handler = Some h; _ } ->
+    ignore (Simkit.Engine.schedule engine ~delay:0.0 h);
+    true
+  | Some _ | None -> false
+
+let close t port =
+  match Hashtbl.find_opt t.table port with
+  | None -> ()
+  | Some e ->
+    e.state <- Closed;
+    e.handler <- None
+
+let status t port =
+  match Hashtbl.find_opt t.table port with
+  | None -> Closed
+  | Some e -> e.state
+
+let ports_of t ~domid =
+  Hashtbl.fold
+    (fun port e acc -> if e.owner = domid then port :: acc else acc)
+    t.table []
+  |> List.sort compare
+
+let close_all_of t ~domid = List.iter (close t) (ports_of t ~domid)
+
+let snapshot_of t ~domid =
+  List.map (fun p -> (p, status t p)) (ports_of t ~domid)
+
+let restore_snapshot t ~domid snap =
+  List.iter
+    (fun (port, st) ->
+      (* Handlers are code, not state: they come back only when the
+         guest's resume handler re-binds. *)
+      let state = match st with Bound -> Unbound | s -> s in
+      Hashtbl.replace t.table port { owner = domid; state; handler = None };
+      if port >= t.next_port then t.next_port <- port + 1)
+    snap

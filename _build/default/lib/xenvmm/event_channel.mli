@@ -1,0 +1,42 @@
+(** Event channels: the VMM's asynchronous notification primitive.
+
+    Guests and the VMM communicate through numbered ports. The status of
+    a domain's event channels is part of the execution state that the
+    on-memory suspend saves (16 KiB per domain) and the resume restores;
+    after a warm reboot, the guest kernel's resume handler re-binds its
+    channels to the new VMM instance. *)
+
+type t
+
+type port = int
+
+type status = Unbound | Bound | Closed
+
+val create : unit -> t
+
+val alloc_unbound : t -> domid:int -> port
+(** Allocate a fresh port owned by a domain. *)
+
+val bind : t -> port -> handler:(unit -> unit) -> unit
+(** Raises [Invalid_argument] on closed or unknown ports. *)
+
+val notify : t -> Simkit.Engine.t -> port -> bool
+(** Deliver an event: schedules the bound handler on the next engine
+    step. Returns [false] (and delivers nothing) when the port is not
+    bound. *)
+
+val close : t -> port -> unit
+
+val status : t -> port -> status
+(** Unknown ports read as [Closed]. *)
+
+val ports_of : t -> domid:int -> port list
+
+val close_all_of : t -> domid:int -> unit
+
+val snapshot_of : t -> domid:int -> (port * status) list
+(** The per-domain channel state saved in the execution-state area. *)
+
+val restore_snapshot : t -> domid:int -> (port * status) list -> unit
+(** Recreate a domain's ports (as unbound, awaiting the guest resume
+    handler's re-bind) in a fresh VMM instance. *)

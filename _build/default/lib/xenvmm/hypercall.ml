@@ -1,0 +1,24 @@
+type t =
+  | Suspend of Domain.id
+  | Resume of Domain.id
+  | Xexec
+  | Domctl_create of Domain.id
+  | Domctl_destroy of Domain.id
+  | Memory_op of Domain.id
+  | Event_channel_op of Domain.id
+
+let name = function
+  | Suspend _ -> "suspend"
+  | Resume _ -> "resume"
+  | Xexec -> "xexec"
+  | Domctl_create _ -> "domctl_create"
+  | Domctl_destroy _ -> "domctl_destroy"
+  | Memory_op _ -> "memory_op"
+  | Event_channel_op _ -> "event_channel_op"
+
+let pp ppf t =
+  match t with
+  | Suspend id | Resume id | Domctl_create id | Domctl_destroy id
+  | Memory_op id | Event_channel_op id ->
+    Format.fprintf ppf "%s(dom%d)" (name t) id
+  | Xexec -> Format.pp_print_string ppf "xexec"

@@ -1,0 +1,16 @@
+(** Hypercall vocabulary, for tracing and aging hooks.
+
+    The simulator counts hypercalls the way the real RootHammer kernel
+    issues them; the aging model and the tests key off these events. *)
+
+type t =
+  | Suspend of Domain.id  (** guest-issued on-memory suspend *)
+  | Resume of Domain.id
+  | Xexec  (** load a new VMM image for quick reload *)
+  | Domctl_create of Domain.id
+  | Domctl_destroy of Domain.id
+  | Memory_op of Domain.id  (** balloon / populate physmap *)
+  | Event_channel_op of Domain.id
+
+val name : t -> string
+val pp : Format.formatter -> t -> unit

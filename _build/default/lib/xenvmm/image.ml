@@ -1,0 +1,23 @@
+type t = {
+  vmm_bytes : int;
+  dom0_kernel_bytes : int;
+  initrd_bytes : int;
+}
+
+let v ~vmm_bytes ~dom0_kernel_bytes ~initrd_bytes =
+  if vmm_bytes <= 0 || dom0_kernel_bytes <= 0 || initrd_bytes < 0 then
+    invalid_arg "Image.v: non-positive component";
+  { vmm_bytes; dom0_kernel_bytes; initrd_bytes }
+
+let default =
+  v
+    ~vmm_bytes:(800 * 1024)
+    ~dom0_kernel_bytes:(4 * 1024 * 1024)
+    ~initrd_bytes:(16 * 1024 * 1024)
+
+let total_bytes t = t.vmm_bytes + t.dom0_kernel_bytes + t.initrd_bytes
+
+let pp ppf t =
+  Format.fprintf ppf "image(vmm %a, kernel %a, initrd %a)"
+    Simkit.Units.pp_bytes t.vmm_bytes Simkit.Units.pp_bytes
+    t.dom0_kernel_bytes Simkit.Units.pp_bytes t.initrd_bytes

@@ -1,0 +1,23 @@
+(** The executable image that the xexec hypercall stages for a quick
+    reload: "a VMM, a kernel for domain 0, and an initial RAM disk for
+    domain 0" (Section 4.3).
+
+    The image is read from dom0's filesystem into machine frames that
+    the reloading VMM must treat as preserved (it copies the image to
+    the boot address before jumping to it). *)
+
+type t = {
+  vmm_bytes : int;
+  dom0_kernel_bytes : int;
+  initrd_bytes : int;
+}
+
+val default : t
+(** Xen 3.0-era sizes: ~0.8 MiB hypervisor, ~4 MiB dom0 kernel,
+    ~16 MiB initrd. *)
+
+val total_bytes : t -> int
+
+val v : vmm_bytes:int -> dom0_kernel_bytes:int -> initrd_bytes:int -> t
+
+val pp : Format.formatter -> t -> unit

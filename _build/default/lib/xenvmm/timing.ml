@@ -1,0 +1,38 @@
+type t = {
+  vmm_load_s : float;
+  vmm_shutdown_s : float;
+  dom0_boot_s : float;
+  dom0_shutdown_s : float;
+  domain_create_s : float;
+  domain_destroy_s : float;
+  suspend_fixed_s : float;
+  suspend_per_gib_s : float;
+  resume_fixed_s : float;
+  resume_per_gib_s : float;
+  save_handler_s : float;
+  restore_fixed_s : float;
+  exec_state_bytes : int;
+}
+
+let default =
+  {
+    vmm_load_s = 4.7;
+    vmm_shutdown_s = 0.5;
+    dom0_boot_s = 32.0;
+    dom0_shutdown_s = 14.0;
+    domain_create_s = 0.1;
+    domain_destroy_s = 0.1;
+    suspend_fixed_s = 0.0033;
+    suspend_per_gib_s = 0.0067;
+    resume_fixed_s = 0.1;
+    resume_per_gib_s = 0.05;
+    save_handler_s = 0.5;
+    restore_fixed_s = 1.7;
+    exec_state_bytes = 16 * 1024;
+  }
+
+let suspend_walk_time t ~mem_bytes =
+  t.suspend_per_gib_s *. Simkit.Units.bytes_to_gib mem_bytes
+
+let resume_time t ~mem_bytes =
+  t.resume_fixed_s +. (t.resume_per_gib_s *. Simkit.Units.bytes_to_gib mem_bytes)

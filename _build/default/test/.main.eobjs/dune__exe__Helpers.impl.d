@@ -1,0 +1,1 @@
+test/helpers.ml: Alcotest Float QCheck QCheck_alcotest Simkit

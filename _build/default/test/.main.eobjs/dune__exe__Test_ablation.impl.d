@@ -1,0 +1,1 @@
+test/test_ablation.ml: Alcotest Float Gen Helpers List Netsim Option QCheck Rejuv Simkit Xenvmm

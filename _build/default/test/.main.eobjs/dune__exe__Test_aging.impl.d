@@ -1,0 +1,1 @@
+test/test_aging.ml: Alcotest Helpers Hw List Simkit Xenvmm

@@ -1,0 +1,1 @@
+test/test_cluster_sim.ml: Alcotest Helpers List Netsim Printf Rejuv Simkit

@@ -1,0 +1,1 @@
+test/test_domain.ml: Alcotest Helpers List Printf Simkit Xenvmm

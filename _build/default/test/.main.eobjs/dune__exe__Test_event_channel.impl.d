@@ -1,0 +1,1 @@
+test/test_event_channel.ml: Alcotest Helpers List Simkit Xenvmm

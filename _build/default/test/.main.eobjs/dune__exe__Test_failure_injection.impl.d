@@ -1,0 +1,1 @@
+test/test_failure_injection.ml: Alcotest Helpers Hw List Printf Simkit Xenvmm

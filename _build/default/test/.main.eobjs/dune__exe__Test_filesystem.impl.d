@@ -1,0 +1,1 @@
+test/test_filesystem.ml: Alcotest Guest Helpers Hw List Simkit

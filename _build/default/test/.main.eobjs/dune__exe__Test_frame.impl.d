@@ -1,0 +1,1 @@
+test/test_frame.ml: Alcotest Array Gen Helpers Hw List Option QCheck Simkit

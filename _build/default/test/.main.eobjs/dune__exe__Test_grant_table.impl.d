@@ -1,0 +1,1 @@
+test/test_grant_table.ml: Alcotest Guest Helpers Hw List QCheck Simkit Xenvmm

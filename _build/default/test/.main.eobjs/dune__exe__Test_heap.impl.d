@@ -1,0 +1,1 @@
+test/test_heap.ml: Alcotest Float Helpers List QCheck Simkit Stdlib

@@ -1,0 +1,1 @@
+test/test_hw.ml: Alcotest Helpers Hw Simkit

@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Float Guest Helpers List Netsim Printf Rejuv Simkit Xenvmm

@@ -1,0 +1,1 @@
+test/test_invariants.ml: Alcotest Gen Guest Helpers Hw List Printf QCheck Simkit String Xenvmm

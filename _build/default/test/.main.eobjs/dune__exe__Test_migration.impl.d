@@ -1,0 +1,1 @@
+test/test_migration.ml: Alcotest Guest Helpers Hw List Netsim Printf Rejuv Simkit Xenvmm

@@ -1,0 +1,1 @@
+test/test_misc.ml: Alcotest Format Fun Helpers Hw List QCheck Rejuv Simkit String Xenvmm

@@ -1,0 +1,1 @@
+test/test_models.ml: Alcotest Float Helpers Hw List QCheck Rejuv Simkit Xenvmm

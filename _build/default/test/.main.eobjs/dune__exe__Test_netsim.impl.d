@@ -1,0 +1,1 @@
+test/test_netsim.ml: Alcotest Float Helpers List Netsim Simkit

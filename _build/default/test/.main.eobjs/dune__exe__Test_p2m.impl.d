@@ -1,0 +1,1 @@
+test/test_p2m.ml: Alcotest Fun Gen Helpers Hw List Printf QCheck Simkit Xenvmm

@@ -1,0 +1,1 @@
+test/test_page_cache.ml: Alcotest Gen Guest Helpers List QCheck Simkit

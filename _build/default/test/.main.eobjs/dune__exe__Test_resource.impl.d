@@ -1,0 +1,1 @@
+test/test_resource.ml: Alcotest Float Gen Helpers List Printf QCheck Simkit

@@ -1,0 +1,1 @@
+test/test_scheduler.ml: Alcotest Float Gen Guest Helpers Hw List Printf QCheck Simkit Xenvmm

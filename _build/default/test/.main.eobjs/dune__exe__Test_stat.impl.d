@@ -1,0 +1,1 @@
+test/test_stat.ml: Alcotest Float Gen Helpers List QCheck Simkit

@@ -1,0 +1,1 @@
+test/test_tcp.ml: Alcotest Float Helpers List Netsim QCheck

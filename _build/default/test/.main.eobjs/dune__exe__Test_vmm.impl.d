@@ -1,0 +1,1 @@
+test/test_vmm.ml: Alcotest Helpers Hw List Simkit Xenvmm

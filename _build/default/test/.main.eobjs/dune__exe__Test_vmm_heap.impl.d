@@ -1,0 +1,1 @@
+test/test_vmm_heap.ml: Alcotest Gen Helpers List QCheck Xenvmm

@@ -1,0 +1,1 @@
+test/test_xenstore.ml: Alcotest Helpers List Xenvmm

@@ -1,0 +1,1 @@
+test/test_xexec.ml: Alcotest Guest Helpers Hw Printf Simkit Xenvmm

@@ -1,0 +1,42 @@
+(* Shared test utilities. *)
+
+let check_float ?(eps = 1e-9) msg expected actual =
+  if Float.abs (expected -. actual) > eps then
+    Alcotest.failf "%s: expected %.6f, got %.6f" msg expected actual
+
+let check_close ?(tolerance = 0.05) msg expected actual =
+  (* Relative tolerance, for calibration-band checks. *)
+  let bound = Float.abs expected *. tolerance in
+  if Float.abs (expected -. actual) > bound then
+    Alcotest.failf "%s: expected %.3f (+/-%.0f%%), got %.3f" msg expected
+      (tolerance *. 100.0) actual
+
+let check_in_band msg ~lo ~hi actual =
+  if actual < lo || actual > hi then
+    Alcotest.failf "%s: expected within [%.3f, %.3f], got %.3f" msg lo hi
+      actual
+
+let check_true msg b = Alcotest.(check bool) msg true b
+let check_false msg b = Alcotest.(check bool) msg false b
+let check_int msg a b = Alcotest.(check int) msg a b
+
+let qtest ?(count = 200) name arbitrary law =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~count ~name arbitrary law)
+
+(* Drive the engine until the flag becomes true; fail the test if the
+   event queue drains or the deadline passes first. *)
+let run_until engine ~flag ~deadline =
+  Simkit.Engine.run ~until:deadline engine;
+  if not !flag then Alcotest.failf "did not complete by t=%.1f" deadline
+
+let run_task engine task =
+  let flag = ref false in
+  task (fun () -> flag := true);
+  Simkit.Engine.run engine;
+  if not !flag then Alcotest.fail "task did not complete"
+
+(* Duration of a CPS task under an otherwise idle engine. *)
+let task_duration engine task =
+  let t0 = Simkit.Engine.now engine in
+  run_task engine task;
+  Simkit.Engine.now engine -. t0

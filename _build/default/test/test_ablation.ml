@@ -1,0 +1,193 @@
+(* Ablations of the design choices: scrub-skip, suspend ordering,
+   restore parallelism, driver domains, and the load-aware policy. *)
+open Helpers
+module Scenario = Rejuv.Scenario
+module Strategy = Rejuv.Strategy
+module Experiment = Rejuv.Experiment
+module Calibration = Rejuv.Calibration
+module Load = Rejuv.Policy.Load
+
+let gib = Simkit.Units.gib
+
+let run ?calibration ?driver_vm_count strategy ~vm_count =
+  ignore driver_vm_count;
+  Experiment.run_reboot ?calibration ~strategy ~vm_count
+    ~vm_mem_bytes:(gib 1) ()
+
+let test_scrub_skip_gives_negative_slope () =
+  (* With the scrub-skip (RootHammer): more suspended VMs mean less free
+     memory to scrub, so the VMM reboot gets FASTER with n. Without it,
+     the reboot time is flat in n (the full 12 GiB is always scrubbed). *)
+  let reboot_time ~scrub_free_only n =
+    let calibration = { Calibration.default with scrub_free_only } in
+    (run ~calibration Strategy.Warm ~vm_count:n).Experiment.vmm_reboot_s
+  in
+  let with_skip_0 = reboot_time ~scrub_free_only:true 0 in
+  let with_skip_11 = reboot_time ~scrub_free_only:true 11 in
+  let without_skip_0 = reboot_time ~scrub_free_only:false 0 in
+  let without_skip_11 = reboot_time ~scrub_free_only:false 11 in
+  check_true "negative slope with skip" (with_skip_11 < with_skip_0 -. 4.0);
+  check_true "flat without skip"
+    (Float.abs (without_skip_11 -. without_skip_0) < 1.0);
+  check_true "skip is never slower" (with_skip_11 <= without_skip_11)
+
+let test_suspend_ordering_costs_downtime () =
+  (* RootHammer suspends AFTER dom0's shutdown; the original ordering
+     suspends first, putting dom0's ~14 s shutdown inside the outage. *)
+  let downtime ~suspend_before_dom0_shutdown =
+    let calibration =
+      { Calibration.default with suspend_before_dom0_shutdown }
+    in
+    (run ~calibration Strategy.Warm ~vm_count:5).Experiment.downtime_mean_s
+  in
+  let roothammer = downtime ~suspend_before_dom0_shutdown:false in
+  let original = downtime ~suspend_before_dom0_shutdown:true in
+  check_in_band "ordering buys roughly dom0's shutdown" ~lo:10.0 ~hi:16.0
+    (original -. roothammer)
+
+let test_parallel_restore_is_not_faster () =
+  (* Interleaved reads lose sequentiality on one spindle, so restoring
+     in parallel does not beat xend's serial restore. *)
+  let post ~parallel_restore =
+    let calibration = { Calibration.default with parallel_restore } in
+    (run ~calibration Strategy.Saved ~vm_count:5).Experiment.post_task_s
+  in
+  let serial = post ~parallel_restore:false in
+  let parallel = post ~parallel_restore:true in
+  check_true "parallel >= 90% of serial" (parallel >= serial *. 0.9)
+
+let test_driver_domain_increases_warm_downtime () =
+  (* Section 7: "the existence of driver domains increases the
+     downtime" of the warm-VM reboot, because they are rebooted like the
+     cold path. *)
+  let scenario_downtime ~driver_vm_count =
+    let s =
+      Scenario.create ~driver_vm_count ~vm_count:3 ~vm_mem_bytes:(gib 1)
+        ~workload:Scenario.Ssh ()
+    in
+    Rejuv.Roothammer.start_and_run s;
+    let probers = Scenario.attach_probers s () in
+    ignore (Rejuv.Roothammer.rejuvenate_blocking s ~strategy:Strategy.Warm);
+    Rejuv.Roothammer.settle s ~seconds:2.0;
+    List.iter Netsim.Prober.stop probers;
+    let by_name =
+      List.map2
+        (fun vm p ->
+          ( Scenario.vm_name vm,
+            Scenario.vm_is_driver vm,
+            Option.value (Netsim.Prober.longest_outage p) ~default:0.0 ))
+        (Scenario.vms s) probers
+    in
+    by_name
+  in
+  let plain = scenario_downtime ~driver_vm_count:0 in
+  let with_driver = scenario_downtime ~driver_vm_count:1 in
+  let mean l = Simkit.Stat.mean (List.map (fun (_, _, d) -> d) l) in
+  let driver_outage =
+    List.find_map
+      (fun (_, is_driver, d) -> if is_driver then Some d else None)
+      with_driver
+  in
+  (match driver_outage with
+  | Some d ->
+    (* The driver domain itself suffers a cold-style reboot: down for
+       the whole shutdown + reload + reboot cycle. *)
+    check_true "driver downtime much larger than suspended VMs'"
+      (d > 1.5 *. mean plain)
+  | None -> Alcotest.fail "driver VM missing");
+  (* Suspended VMs still recover. *)
+  List.iter
+    (fun (name, is_driver, d) ->
+      if not is_driver then
+        check_in_band (name ^ " downtime") ~lo:30.0 ~hi:65.0 d)
+    with_driver
+
+let test_driver_domain_comes_back () =
+  let s =
+    Scenario.create ~driver_vm_count:1 ~vm_count:2 ~vm_mem_bytes:(gib 1)
+      ~workload:Scenario.Ssh ()
+  in
+  Rejuv.Roothammer.start_and_run s;
+  ignore (Rejuv.Roothammer.rejuvenate_blocking s ~strategy:Strategy.Warm);
+  List.iter
+    (fun vm ->
+      check_true (Scenario.vm_name vm ^ " up") (Scenario.vm_is_up vm))
+    (Scenario.vms s);
+  (* The rebuilt driver domain is again non-suspendable. *)
+  let driver = List.find Scenario.vm_is_driver (Scenario.vms s) in
+  check_false "still a driver domain"
+    (Xenvmm.Domain.suspendable (Scenario.vm_domain driver))
+
+(* --- load-aware policy ---------------------------------------------------- *)
+
+let diurnal : Load.profile =
+  (* Busy day, quiet night. *)
+  [ (0.0, 100.0); (8.0, 800.0); (20.0, 300.0); (23.0, 50.0) ]
+
+let test_load_level_at () =
+  check_float "start" 100.0 (Load.level_at diurnal 0.0);
+  check_float "day" 800.0 (Load.level_at diurnal 12.0);
+  check_float "night" 50.0 (Load.level_at diurnal 23.5)
+
+let test_load_cost () =
+  check_float ~eps:1e-9 "flat segment" 200.0
+    (Load.cost diurnal ~start:1.0 ~duration:2.0);
+  check_float ~eps:1e-9 "straddles breakpoint" (100.0 +. 800.0)
+    (Load.cost diurnal ~start:7.0 ~duration:2.0)
+
+let test_best_window_picks_the_night () =
+  let start, cost = Load.best_window diurnal ~duration:1.0 ~horizon:24.0 in
+  check_true "after the evening drop" (start >= 23.0);
+  check_float ~eps:1e-9 "night cost" 50.0 cost
+
+let test_best_window_respects_horizon () =
+  let start, cost = Load.best_window diurnal ~duration:4.0 ~horizon:12.0 in
+  (* Any 4 h window inside the quiet morning costs 400; nothing before
+     noon beats it. *)
+  check_true "fits" (start +. 4.0 <= 12.0);
+  check_true "entirely before the morning ramp" (start +. 4.0 <= 8.0);
+  check_float ~eps:1e-9 "cheapest pre-noon cost" 400.0 cost
+
+let test_best_window_validation () =
+  check_true "horizon too short"
+    (try ignore (Load.best_window diurnal ~duration:30.0 ~horizon:24.0); false
+     with Invalid_argument _ -> true)
+
+let prop_best_window_is_optimal =
+  qtest ~count:100 "best window beats random windows"
+    QCheck.(
+      pair
+        (list_of_size (Gen.int_range 1 6) (pair (float_range 0.0 24.0) (float_range 0.0 100.0)))
+        (float_range 0.0 20.0))
+    (fun (raw, s) ->
+      let profile =
+        (0.0, 10.0)
+        :: List.sort (fun (a, _) (b, _) -> Float.compare a b) raw
+      in
+      let duration = 2.0 and horizon = 24.0 in
+      let _, best_cost = Load.best_window profile ~duration ~horizon in
+      let s = Float.min s (horizon -. duration) in
+      best_cost <= Load.cost profile ~start:s ~duration +. 1e-9)
+
+let suite =
+  ( "ablation",
+    [
+      Alcotest.test_case "scrub skip: negative slope" `Slow
+        test_scrub_skip_gives_negative_slope;
+      Alcotest.test_case "suspend ordering" `Slow
+        test_suspend_ordering_costs_downtime;
+      Alcotest.test_case "parallel restore" `Slow
+        test_parallel_restore_is_not_faster;
+      Alcotest.test_case "driver domain downtime" `Slow
+        test_driver_domain_increases_warm_downtime;
+      Alcotest.test_case "driver domain recovery" `Quick
+        test_driver_domain_comes_back;
+      Alcotest.test_case "load: level_at" `Quick test_load_level_at;
+      Alcotest.test_case "load: cost" `Quick test_load_cost;
+      Alcotest.test_case "load: best window at night" `Quick
+        test_best_window_picks_the_night;
+      Alcotest.test_case "load: horizon respected" `Quick
+        test_best_window_respects_horizon;
+      Alcotest.test_case "load: validation" `Quick test_best_window_validation;
+      prop_best_window_is_optimal;
+    ] )

@@ -1,0 +1,95 @@
+open Helpers
+module Ec = Xenvmm.Event_channel
+module Engine = Simkit.Engine
+
+let test_alloc_and_status () =
+  let t = Ec.create () in
+  let p = Ec.alloc_unbound t ~domid:1 in
+  check_true "unbound" (Ec.status t p = Ec.Unbound);
+  check_true "unknown port closed" (Ec.status t 9999 = Ec.Closed)
+
+let test_bind_and_notify () =
+  let e = Engine.create () in
+  let t = Ec.create () in
+  let p = Ec.alloc_unbound t ~domid:1 in
+  let fired = ref false in
+  Ec.bind t p ~handler:(fun () -> fired := true);
+  check_true "bound" (Ec.status t p = Ec.Bound);
+  check_true "notify accepted" (Ec.notify t e p);
+  check_false "async delivery" !fired;
+  Engine.run e;
+  check_true "delivered" !fired
+
+let test_notify_unbound () =
+  let e = Engine.create () in
+  let t = Ec.create () in
+  let p = Ec.alloc_unbound t ~domid:1 in
+  check_false "unbound rejected" (Ec.notify t e p);
+  check_false "unknown rejected" (Ec.notify t e 42)
+
+let test_close () =
+  let e = Engine.create () in
+  let t = Ec.create () in
+  let p = Ec.alloc_unbound t ~domid:1 in
+  Ec.bind t p ~handler:(fun () -> ());
+  Ec.close t p;
+  check_true "closed" (Ec.status t p = Ec.Closed);
+  check_false "notify after close" (Ec.notify t e p);
+  check_true "bind after close raises"
+    (try Ec.bind t p ~handler:(fun () -> ()); false
+     with Invalid_argument _ -> true)
+
+let test_ports_of () =
+  let t = Ec.create () in
+  let p1 = Ec.alloc_unbound t ~domid:1 in
+  let _p2 = Ec.alloc_unbound t ~domid:2 in
+  let p3 = Ec.alloc_unbound t ~domid:1 in
+  Alcotest.(check (list int)) "dom1 ports" [ p1; p3 ] (Ec.ports_of t ~domid:1)
+
+let test_close_all_of () =
+  let t = Ec.create () in
+  let p1 = Ec.alloc_unbound t ~domid:1 in
+  let p2 = Ec.alloc_unbound t ~domid:2 in
+  Ec.close_all_of t ~domid:1;
+  check_true "dom1 closed" (Ec.status t p1 = Ec.Closed);
+  check_true "dom2 untouched" (Ec.status t p2 = Ec.Unbound)
+
+let test_snapshot_restore () =
+  (* The suspend/resume path: snapshot channel state, restore into a
+     fresh VMM instance; bound channels come back unbound awaiting the
+     guest's resume handler. *)
+  let t = Ec.create () in
+  let p1 = Ec.alloc_unbound t ~domid:1 in
+  let p2 = Ec.alloc_unbound t ~domid:1 in
+  Ec.bind t p1 ~handler:(fun () -> ());
+  let snap = Ec.snapshot_of t ~domid:1 in
+  check_int "two ports" 2 (List.length snap);
+  let fresh = Ec.create () in
+  Ec.restore_snapshot fresh ~domid:1 snap;
+  check_true "bound restored as unbound" (Ec.status fresh p1 = Ec.Unbound);
+  check_true "unbound stays unbound" (Ec.status fresh p2 = Ec.Unbound);
+  (* Fresh allocations must not collide with restored ports. *)
+  let p3 = Ec.alloc_unbound fresh ~domid:2 in
+  check_true "no collision" (p3 <> p1 && p3 <> p2)
+
+let test_restore_closed_state () =
+  let t = Ec.create () in
+  let p = Ec.alloc_unbound t ~domid:1 in
+  Ec.close t p;
+  let snap = Ec.snapshot_of t ~domid:1 in
+  let fresh = Ec.create () in
+  Ec.restore_snapshot fresh ~domid:1 snap;
+  check_true "closed stays closed" (Ec.status fresh p = Ec.Closed)
+
+let suite =
+  ( "event_channel",
+    [
+      Alcotest.test_case "alloc and status" `Quick test_alloc_and_status;
+      Alcotest.test_case "bind and notify" `Quick test_bind_and_notify;
+      Alcotest.test_case "notify unbound" `Quick test_notify_unbound;
+      Alcotest.test_case "close" `Quick test_close;
+      Alcotest.test_case "ports_of" `Quick test_ports_of;
+      Alcotest.test_case "close_all_of" `Quick test_close_all_of;
+      Alcotest.test_case "snapshot/restore" `Quick test_snapshot_restore;
+      Alcotest.test_case "restore closed" `Quick test_restore_closed_state;
+    ] )

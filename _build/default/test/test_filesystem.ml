@@ -1,0 +1,125 @@
+open Helpers
+module Fs = Guest.Filesystem
+module Cache = Guest.Page_cache
+module Engine = Simkit.Engine
+
+let mib = Simkit.Units.mib
+
+let make ?(cache_mib = 256) () =
+  let e = Engine.create () in
+  let disk =
+    Hw.Disk.create e ~read_mib_per_s:88.0 ~write_mib_per_s:85.0 ~seek_ms:4.0 ()
+  in
+  let cache = Cache.create ~capacity_bytes:(mib cache_mib) () in
+  let fs = Fs.create e ~disk ~cache () in
+  (e, fs)
+
+let read_duration e fs file ?access () =
+  task_duration e (fun k -> Fs.read fs file ?access k)
+
+let test_create_file () =
+  let _e, fs = make () in
+  let f = Fs.create_file fs ~name:"data" ~bytes:(mib 1) () in
+  check_int "size" (mib 1) (Fs.file_bytes f);
+  check_true "name" (Fs.file_name f = "data");
+  check_int "listed" 1 (List.length (Fs.files fs))
+
+let test_cold_read_hits_disk () =
+  let e, fs = make () in
+  let f = Fs.create_file fs ~bytes:(mib 88) () in
+  let d = read_duration e fs f () in
+  (* 88 MiB at 88 MiB/s sequential + one seek. *)
+  check_close ~tolerance:0.02 "disk speed" 1.004 d;
+  check_float "fully cached after" 1.0 (Fs.cached_fraction fs f)
+
+let test_warm_read_hits_memory () =
+  let e, fs = make () in
+  let f = Fs.create_file fs ~bytes:(mib 95) () in
+  Fs.warm_file fs f;
+  check_float "resident" 1.0 (Fs.cached_fraction fs f);
+  let d = read_duration e fs f () in
+  (* 95 MiB at 950 MiB/s. *)
+  check_close ~tolerance:0.02 "memory speed" 0.1 d
+
+let test_second_read_faster () =
+  let e, fs = make () in
+  let f = Fs.create_file fs ~bytes:(mib 32) () in
+  let first = read_duration e fs f () in
+  let second = read_duration e fs f () in
+  check_true "second read ~10x faster" (second < first /. 5.0)
+
+let test_partial_cache_mix () =
+  let e, fs = make () in
+  let f = Fs.create_file fs ~bytes:(mib 10) () in
+  (* Cache the first half via a range read. *)
+  run_task e (fun k -> Fs.read_range fs f ~offset:0 ~bytes:(mib 5) k);
+  check_close ~tolerance:0.02 "half resident" 0.5 (Fs.cached_fraction fs f);
+  let d = read_duration e fs f () in
+  let expected = (5.0 /. 950.0) +. (5.0 /. 88.0) +. 0.004 in
+  check_close ~tolerance:0.05 "mixed speed" expected d
+
+let test_eviction_under_pressure () =
+  let e, fs = make ~cache_mib:8 () in
+  let f1 = Fs.create_file fs ~bytes:(mib 8) () in
+  let f2 = Fs.create_file fs ~bytes:(mib 8) () in
+  run_task e (fun k -> Fs.read fs f1 k);
+  run_task e (fun k -> Fs.read fs f2 k);
+  (* f2 displaced f1. *)
+  check_true "f1 evicted" (Fs.cached_fraction fs f1 < 0.1);
+  check_float "f2 resident" 1.0 (Fs.cached_fraction fs f2)
+
+let test_read_range_bounds () =
+  let _e, fs = make () in
+  let f = Fs.create_file fs ~bytes:4096 () in
+  check_true "negative offset"
+    (try Fs.read_range fs f ~offset:(-1) ~bytes:1 (fun () -> ()); false
+     with Invalid_argument _ -> true);
+  check_true "past end"
+    (try Fs.read_range fs f ~offset:0 ~bytes:8192 (fun () -> ()); false
+     with Invalid_argument _ -> true)
+
+let test_zero_byte_range () =
+  let e, fs = make () in
+  let f = Fs.create_file fs ~bytes:4096 () in
+  check_float "instant" 0.0
+    (task_duration e (fun k -> Fs.read_range fs f ~offset:0 ~bytes:0 k))
+
+let test_random_access_slower_than_sequential () =
+  let e, fs = make () in
+  let f1 = Fs.create_file fs ~bytes:(mib 64) () in
+  let f2 = Fs.create_file fs ~bytes:(mib 64) () in
+  let seq = read_duration e fs f1 ~access:Fs.Sequential () in
+  let rnd = read_duration e fs f2 ~access:Fs.Random () in
+  check_true "penalty applies" (rnd > seq *. 1.3)
+
+let test_analytic_times () =
+  let _e, fs = make () in
+  let f = Fs.create_file fs ~bytes:(mib 88) () in
+  check_close ~tolerance:0.02 "uncached" 1.004 (Fs.uncached_read_time fs f);
+  check_close ~tolerance:0.02 "cached" (88.0 /. 950.0)
+    (Fs.cached_read_time fs f)
+
+let test_invalid_create () =
+  let _e, fs = make () in
+  check_true "empty file rejected"
+    (try ignore (Fs.create_file fs ~bytes:0 ()); false
+     with Invalid_argument _ -> true)
+
+let suite =
+  ( "filesystem",
+    [
+      Alcotest.test_case "create file" `Quick test_create_file;
+      Alcotest.test_case "cold read from disk" `Quick test_cold_read_hits_disk;
+      Alcotest.test_case "warm read from memory" `Quick
+        test_warm_read_hits_memory;
+      Alcotest.test_case "second read faster" `Quick test_second_read_faster;
+      Alcotest.test_case "partial cache mix" `Quick test_partial_cache_mix;
+      Alcotest.test_case "eviction under pressure" `Quick
+        test_eviction_under_pressure;
+      Alcotest.test_case "range bounds" `Quick test_read_range_bounds;
+      Alcotest.test_case "zero-byte range" `Quick test_zero_byte_range;
+      Alcotest.test_case "random slower than sequential" `Quick
+        test_random_access_slower_than_sequential;
+      Alcotest.test_case "analytic times" `Quick test_analytic_times;
+      Alcotest.test_case "invalid create" `Quick test_invalid_create;
+    ] )

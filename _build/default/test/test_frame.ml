@@ -1,0 +1,184 @@
+open Helpers
+module Frame = Hw.Frame
+
+let test_create () =
+  let t = Frame.create ~total_frames:100 in
+  check_int "total" 100 (Frame.total_frames t);
+  check_int "all free" 100 (Frame.free_frames t);
+  check_int "none used" 0 (Frame.used_frames t)
+
+let test_of_bytes () =
+  let t = Frame.of_bytes ~total_bytes:(Simkit.Units.mib 1) in
+  check_int "256 pages per MiB" 256 (Frame.total_frames t)
+
+let test_alloc_basic () =
+  let t = Frame.create ~total_frames:100 in
+  match Frame.alloc t ~frames:10 with
+  | Some [ { Frame.first = 0; count = 10 } ] ->
+    check_int "free" 90 (Frame.free_frames t);
+    check_true "invariants" (Frame.check_invariants t = Ok ())
+  | _ -> Alcotest.fail "expected one extent at 0"
+
+let test_alloc_all () =
+  let t = Frame.create ~total_frames:64 in
+  check_true "all" (Frame.alloc t ~frames:64 <> None);
+  check_int "none free" 0 (Frame.free_frames t);
+  check_true "next alloc fails" (Frame.alloc t ~frames:1 = None)
+
+let test_alloc_too_much () =
+  let t = Frame.create ~total_frames:10 in
+  check_true "refused" (Frame.alloc t ~frames:11 = None);
+  check_int "unchanged" 10 (Frame.free_frames t)
+
+let test_free_coalesces () =
+  let t = Frame.create ~total_frames:100 in
+  let a = Option.get (Frame.alloc t ~frames:30) in
+  let b = Option.get (Frame.alloc t ~frames:30) in
+  Frame.free t a;
+  Frame.free t b;
+  check_int "all free again" 100 (Frame.free_frames t);
+  check_true "invariants" (Frame.check_invariants t = Ok ());
+  (* Everything coalesced back: a full-size alloc must succeed as one
+     extent. *)
+  match Frame.alloc t ~frames:100 with
+  | Some [ _ ] -> ()
+  | _ -> Alcotest.fail "expected single coalesced extent"
+
+let test_double_free_detected () =
+  let t = Frame.create ~total_frames:100 in
+  let a = Option.get (Frame.alloc t ~frames:10) in
+  Frame.free t a;
+  check_true "double free raises"
+    (try Frame.free t a; false with Invalid_argument _ -> true)
+
+let test_free_out_of_range () =
+  let t = Frame.create ~total_frames:100 in
+  check_true "raises"
+    (try Frame.free t [ { Frame.first = 90; count = 20 } ]; false
+     with Invalid_argument _ -> true)
+
+let test_fragmented_alloc () =
+  let t = Frame.create ~total_frames:100 in
+  let a = Option.get (Frame.alloc t ~frames:20) in
+  let _b = Option.get (Frame.alloc t ~frames:20) in
+  let c = Option.get (Frame.alloc t ~frames:20) in
+  Frame.free t a;
+  Frame.free t c;
+  (* Free: [0,20) and [40,60) and [60,100) coalesced to [40,100). *)
+  match Frame.alloc t ~frames:70 with
+  | Some extents ->
+    check_int "covers request" 70 (Frame.extents_frames extents);
+    check_true "multiple extents" (List.length extents > 1);
+    check_true "invariants" (Frame.check_invariants t = Ok ())
+  | None -> Alcotest.fail "fragmented alloc should succeed"
+
+let test_reserve () =
+  let t = Frame.create ~total_frames:100 in
+  (match Frame.reserve t { Frame.first = 50; count = 10 } with
+  | Ok () -> ()
+  | Error m -> Alcotest.fail m);
+  check_int "free" 90 (Frame.free_frames t);
+  check_false "middle not free" (Frame.is_free t ~mfn:55);
+  check_true "left free" (Frame.is_free t ~mfn:49);
+  check_true "right free" (Frame.is_free t ~mfn:60);
+  check_true "invariants" (Frame.check_invariants t = Ok ())
+
+let test_reserve_conflict () =
+  let t = Frame.create ~total_frames:100 in
+  let _a = Option.get (Frame.alloc t ~frames:10) in
+  (* Frames [0,10) are taken. *)
+  check_true "overlap refused"
+    (match Frame.reserve t { Frame.first = 5; count = 10 } with
+     | Error _ -> true
+     | Ok () -> false);
+  check_int "state unchanged" 90 (Frame.free_frames t)
+
+let test_reserve_out_of_range () =
+  let t = Frame.create ~total_frames:100 in
+  check_true "beyond end"
+    (match Frame.reserve t { Frame.first = 95; count = 10 } with
+     | Error _ -> true
+     | Ok () -> false)
+
+let test_reserve_then_free_roundtrip () =
+  let t = Frame.create ~total_frames:100 in
+  let e = { Frame.first = 30; count = 40 } in
+  (match Frame.reserve t e with Ok () -> () | Error m -> Alcotest.fail m);
+  Frame.free t [ e ];
+  check_int "restored" 100 (Frame.free_frames t);
+  check_true "invariants" (Frame.check_invariants t = Ok ())
+
+let test_extent_helpers () =
+  let e = { Frame.first = 0; count = 2 } in
+  check_int "extent bytes" 8192 (Frame.extent_bytes e);
+  check_int "list bytes" 16384 (Frame.extents_bytes [ e; e ]);
+  check_int "list frames" 4 (Frame.extents_frames [ e; e ])
+
+(* Random interleaving of allocs and frees preserves every invariant. *)
+let prop_random_ops =
+  qtest ~count:100 "random alloc/free keeps invariants"
+    QCheck.(list_of_size (Gen.int_range 1 60) (int_range 1 20))
+    (fun sizes ->
+      let t = Frame.create ~total_frames:256 in
+      let live = ref [] in
+      let ok = ref true in
+      List.iteri
+        (fun i size ->
+          if i mod 3 = 2 && !live <> [] then begin
+            (* Free the oldest live allocation. *)
+            match List.rev !live with
+            | oldest :: _ ->
+              Frame.free t oldest;
+              live := List.filter (fun x -> x != oldest) !live
+            | [] -> ()
+          end
+          else
+            match Frame.alloc t ~frames:size with
+            | Some extents -> live := extents :: !live
+            | None -> ();
+          if Frame.check_invariants t <> Ok () then ok := false)
+        sizes;
+      !ok
+      && Frame.free_frames t
+         = 256 - List.fold_left (fun a e -> a + Frame.extents_frames e) 0 !live)
+
+let prop_alloc_disjoint =
+  qtest ~count:100 "successive allocations are disjoint"
+    QCheck.(list_of_size (Gen.int_range 2 10) (int_range 1 20))
+    (fun sizes ->
+      let t = Frame.create ~total_frames:1024 in
+      let all =
+        List.filter_map (fun s -> Frame.alloc t ~frames:s) sizes |> List.concat
+      in
+      let marks = Array.make 1024 false in
+      let ok = ref true in
+      List.iter
+        (fun e ->
+          for i = e.Frame.first to e.Frame.first + e.Frame.count - 1 do
+            if marks.(i) then ok := false;
+            marks.(i) <- true
+          done)
+        all;
+      !ok)
+
+let suite =
+  ( "frame",
+    [
+      Alcotest.test_case "create" `Quick test_create;
+      Alcotest.test_case "of_bytes" `Quick test_of_bytes;
+      Alcotest.test_case "alloc basic" `Quick test_alloc_basic;
+      Alcotest.test_case "alloc all" `Quick test_alloc_all;
+      Alcotest.test_case "alloc too much" `Quick test_alloc_too_much;
+      Alcotest.test_case "free coalesces" `Quick test_free_coalesces;
+      Alcotest.test_case "double free" `Quick test_double_free_detected;
+      Alcotest.test_case "free out of range" `Quick test_free_out_of_range;
+      Alcotest.test_case "fragmented alloc" `Quick test_fragmented_alloc;
+      Alcotest.test_case "reserve" `Quick test_reserve;
+      Alcotest.test_case "reserve conflict" `Quick test_reserve_conflict;
+      Alcotest.test_case "reserve out of range" `Quick test_reserve_out_of_range;
+      Alcotest.test_case "reserve/free roundtrip" `Quick
+        test_reserve_then_free_roundtrip;
+      Alcotest.test_case "extent helpers" `Quick test_extent_helpers;
+      prop_random_ops;
+      prop_alloc_disjoint;
+    ] )

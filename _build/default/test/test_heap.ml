@@ -1,0 +1,122 @@
+open Helpers
+module Heap = Simkit.Heap
+
+let test_empty () =
+  let h = Heap.create () in
+  check_true "empty" (Heap.is_empty h);
+  check_int "length" 0 (Heap.length h);
+  check_true "min None" (Heap.min h = None);
+  check_true "pop None" (Heap.pop h = None)
+
+let test_single () =
+  let h = Heap.create () in
+  Heap.add h ~key:1.5 "a";
+  check_int "length" 1 (Heap.length h);
+  check_true "min" (Heap.min h = Some (1.5, "a"));
+  check_true "pop" (Heap.pop h = Some (1.5, "a"));
+  check_true "empty after" (Heap.is_empty h)
+
+let test_ordering () =
+  let h = Heap.create () in
+  List.iter (fun k -> Heap.add h ~key:k (string_of_float k))
+    [ 5.0; 1.0; 3.0; 2.0; 4.0 ];
+  let order = ref [] in
+  let rec drain () =
+    match Heap.pop h with
+    | Some (k, _) ->
+      order := k :: !order;
+      drain ()
+    | None -> ()
+  in
+  drain ();
+  Alcotest.(check (list (float 1e-9)))
+    "sorted" [ 1.0; 2.0; 3.0; 4.0; 5.0 ] (List.rev !order)
+
+let test_fifo_ties () =
+  let h = Heap.create () in
+  List.iter (fun v -> Heap.add h ~key:1.0 v) [ "first"; "second"; "third" ];
+  Heap.add h ~key:0.5 "early";
+  check_true "early first" (Heap.pop h = Some (0.5, "early"));
+  check_true "tie 1" (Heap.pop h = Some (1.0, "first"));
+  check_true "tie 2" (Heap.pop h = Some (1.0, "second"));
+  check_true "tie 3" (Heap.pop h = Some (1.0, "third"))
+
+let test_interleaved_ties () =
+  (* FIFO must hold even when equal keys are interleaved with pops. *)
+  let h = Heap.create () in
+  Heap.add h ~key:1.0 "a";
+  Heap.add h ~key:1.0 "b";
+  check_true "a" (Heap.pop h = Some (1.0, "a"));
+  Heap.add h ~key:1.0 "c";
+  check_true "b" (Heap.pop h = Some (1.0, "b"));
+  check_true "c" (Heap.pop h = Some (1.0, "c"))
+
+let test_min_does_not_remove () =
+  let h = Heap.create () in
+  Heap.add h ~key:2.0 "x";
+  check_true "min" (Heap.min h = Some (2.0, "x"));
+  check_int "still there" 1 (Heap.length h)
+
+let test_clear () =
+  let h = Heap.create () in
+  for i = 1 to 100 do
+    Heap.add h ~key:(float_of_int i) i
+  done;
+  Heap.clear h;
+  check_true "empty" (Heap.is_empty h);
+  Heap.add h ~key:1.0 7;
+  check_true "usable after clear" (Heap.pop h = Some (1.0, 7))
+
+let test_growth () =
+  let h = Heap.create () in
+  for i = 1000 downto 1 do
+    Heap.add h ~key:(float_of_int i) i
+  done;
+  check_int "length" 1000 (Heap.length h);
+  check_true "min is 1" (Heap.min h = Some (1.0, 1))
+
+let test_negative_keys () =
+  let h = Heap.create () in
+  Heap.add h ~key:(-5.0) "neg";
+  Heap.add h ~key:0.0 "zero";
+  check_true "negative first" (Heap.pop h = Some (-5.0, "neg"))
+
+let prop_pop_sorted =
+  qtest "pop yields sorted keys"
+    QCheck.(list (float_bound_inclusive 1000.0))
+    @@ fun keys ->
+    let h = Heap.create () in
+    List.iter (fun k -> Heap.add h ~key:k k) keys;
+    let rec drain acc =
+      match Heap.pop h with Some (k, _) -> drain (k :: acc) | None -> List.rev acc
+    in
+    let popped = drain [] in
+    popped = List.sort Float.compare keys
+
+let prop_length =
+  qtest "length tracks adds and pops"
+    QCheck.(list (float_bound_inclusive 100.0))
+    @@ fun keys ->
+    let h = Heap.create () in
+    List.iter (fun k -> Heap.add h ~key:k ()) keys;
+    let n = List.length keys in
+    Heap.length h = n
+    &&
+    (ignore (Heap.pop h);
+     Heap.length h = Stdlib.max 0 (n - 1))
+
+let suite =
+  ( "heap",
+    [
+      Alcotest.test_case "empty" `Quick test_empty;
+      Alcotest.test_case "single element" `Quick test_single;
+      Alcotest.test_case "ordering" `Quick test_ordering;
+      Alcotest.test_case "fifo ties" `Quick test_fifo_ties;
+      Alcotest.test_case "interleaved ties" `Quick test_interleaved_ties;
+      Alcotest.test_case "min does not remove" `Quick test_min_does_not_remove;
+      Alcotest.test_case "clear" `Quick test_clear;
+      Alcotest.test_case "growth to 1000" `Quick test_growth;
+      Alcotest.test_case "negative keys" `Quick test_negative_keys;
+      prop_pop_sorted;
+      prop_length;
+    ] )

@@ -1,0 +1,252 @@
+(* Live migration: analytic plans, event-driven transfers between two
+   hosts, and the Section 6 comparison against the warm-VM reboot. *)
+open Helpers
+module Migration = Rejuv.Migration
+module Vmm = Xenvmm.Vmm
+module Domain = Xenvmm.Domain
+module Engine = Simkit.Engine
+
+let gib = Simkit.Units.gib
+let mib = Simkit.Units.mib
+
+(* Two powered-on hosts sharing one engine (and, implicitly, storage). *)
+let two_hosts () =
+  let engine = Engine.create () in
+  let host_a = Hw.Host.create engine in
+  let host_b = Hw.Host.create engine in
+  let vmm_a = Vmm.create host_a in
+  let vmm_b = Vmm.create host_b in
+  let flag = ref 0 in
+  Vmm.power_on vmm_a (fun () -> incr flag);
+  Vmm.power_on vmm_b (fun () -> incr flag);
+  Engine.run engine;
+  check_int "both hosts up" 2 !flag;
+  (engine, vmm_a, vmm_b)
+
+let vm_on engine vmm ~name ~mem_bytes =
+  let result = ref None in
+  Vmm.create_domain vmm ~name ~mem_bytes (fun r -> result := Some r);
+  Engine.run engine;
+  match !result with
+  | Some (Ok d) ->
+    let kernel = Guest.Kernel.create vmm d () in
+    let sshd = Guest.Sshd.install kernel in
+    run_task engine (Guest.Kernel.boot kernel);
+    (kernel, sshd)
+  | _ -> Alcotest.fail "vm_on failed"
+
+(* --- analytic plan -------------------------------------------------------- *)
+
+let test_plan_idle_vm_converges_fast () =
+  let p =
+    Migration.plan ~mem_bytes:(gib 1)
+      ~dirty_bytes_per_s:(1.0 *. 1048576.0) ()
+  in
+  check_true "few rounds" (List.length p.Migration.rounds <= 2);
+  check_true "sub-second downtime" (p.Migration.downtime_s < 1.5);
+  (* 1 GiB at 40 MiB/s is ~25.6 s for the first round. *)
+  check_in_band "total ~27 s" ~lo:24.0 ~hi:32.0 p.Migration.total_s
+
+let test_plan_matches_clark_for_busy_vm () =
+  (* The paper cites 72 s for one busy ~800 MB VM (Clark et al.). *)
+  let p =
+    Migration.plan ~mem_bytes:(gib 1)
+      ~dirty_bytes_per_s:(20.0 *. 1048576.0) ()
+  in
+  check_in_band "roughly Clark's 72 s" ~lo:60.0 ~hi:85.0 p.Migration.total_s;
+  check_true "downtime stays ~1 s" (p.Migration.downtime_s < 2.0);
+  check_true "several rounds" (List.length p.Migration.rounds >= 3)
+
+let test_plan_rounds_shrink () =
+  let p =
+    Migration.plan ~mem_bytes:(gib 1)
+      ~dirty_bytes_per_s:(16.0 *. 1048576.0) ()
+  in
+  let sizes = List.map fst p.Migration.rounds in
+  let rec decreasing = function
+    | a :: (b :: _ as rest) -> a > b && decreasing rest
+    | _ -> true
+  in
+  check_true "monotone shrink" (decreasing sizes)
+
+let test_plan_diverging_rate_rejected () =
+  check_true "dirty >= link rejected"
+    (try
+       ignore
+         (Migration.plan ~mem_bytes:(gib 1)
+            ~dirty_bytes_per_s:(41.0 *. 1048576.0) ());
+       false
+     with Invalid_argument _ -> true)
+
+let test_plan_stop_and_copy_only () =
+  let config = { Migration.default_config with max_rounds = 0 } in
+  let p =
+    Migration.plan ~config ~mem_bytes:(gib 1)
+      ~dirty_bytes_per_s:(1.0 *. 1048576.0) ()
+  in
+  check_int "whole image in the blackout" (gib 1) p.Migration.stop_copy_bytes;
+  check_in_band "downtime = full copy" ~lo:25.0 ~hi:27.0 p.Migration.downtime_s
+
+(* --- event-driven migration ---------------------------------------------- *)
+
+let test_migrate_moves_vm () =
+  let engine, vmm_a, vmm_b = two_hosts () in
+  let kernel, sshd = vm_on engine vmm_a ~name:"vm01" ~mem_bytes:(gib 1) in
+  let result = ref None in
+  Migration.migrate ~src:vmm_a ~dst:vmm_b ~kernel
+    ~dirty_bytes_per_s:(1.0 *. 1048576.0)
+    (fun r -> result := Some r);
+  Engine.run engine;
+  (match !result with
+  | Some (Ok new_dom) ->
+    check_true "running on dst" (Domain.state new_dom = Domain.Running);
+    check_true "kernel rebound" (Guest.Kernel.domain kernel == new_dom);
+    check_int "gone from src" 0 (List.length (Vmm.domus vmm_a));
+    check_int "present on dst" 1 (List.length (Vmm.domus vmm_b))
+  | _ -> Alcotest.fail "migration failed");
+  check_true "service survives" (Guest.Service.is_up sshd);
+  check_true "reachable" (Guest.Kernel.service_reachable kernel sshd)
+
+let test_migrate_downtime_negligible () =
+  let engine, vmm_a, vmm_b = two_hosts () in
+  let kernel, _sshd = vm_on engine vmm_a ~name:"vm01" ~mem_bytes:(gib 1) in
+  let vm_up () =
+    Guest.Kernel.is_running kernel
+    && List.for_all Guest.Service.is_up (Guest.Kernel.services kernel)
+  in
+  let prober = Netsim.Prober.create engine ~interval_s:0.05 ~is_up:vm_up () in
+  Netsim.Prober.start prober;
+  let finished = ref false in
+  Migration.migrate ~src:vmm_a ~dst:vmm_b ~kernel
+    ~dirty_bytes_per_s:(16.0 *. 1048576.0)
+    (fun _ -> finished := true);
+  run_until engine ~flag:finished
+    ~deadline:(Engine.now engine +. 300.0);
+  Engine.run ~until:(Engine.now engine +. 2.0) engine;
+  Netsim.Prober.stop prober;
+  match Netsim.Prober.longest_outage prober with
+  | Some outage ->
+    (* Paper's point: negligible next to the 42 s warm reboot. *)
+    check_true "sub-2s blackout" (outage < 2.0)
+  | None -> Alcotest.fail "expected a short blackout"
+
+let test_migrate_preserves_page_cache () =
+  let engine, vmm_a, vmm_b = two_hosts () in
+  let kernel, _ = vm_on engine vmm_a ~name:"vm01" ~mem_bytes:(gib 1) in
+  let fs = Guest.Kernel.filesystem kernel in
+  let f = Guest.Filesystem.create_file fs ~bytes:(mib 64) () in
+  Guest.Filesystem.warm_file fs f;
+  let finished = ref false in
+  Migration.migrate ~src:vmm_a ~dst:vmm_b ~kernel
+    ~dirty_bytes_per_s:(1.0 *. 1048576.0)
+    (fun _ -> finished := true);
+  run_until engine ~flag:finished ~deadline:(Engine.now engine +. 300.0);
+  check_float "cache travelled with the image" 1.0
+    (Guest.Filesystem.cached_fraction fs f)
+
+let test_migrate_requires_running () =
+  let engine, vmm_a, vmm_b = two_hosts () in
+  let kernel, _ = vm_on engine vmm_a ~name:"vm01" ~mem_bytes:(gib 1) in
+  run_task engine (Guest.Kernel.shutdown kernel);
+  let result = ref None in
+  Migration.migrate ~src:vmm_a ~dst:vmm_b ~kernel
+    ~dirty_bytes_per_s:1024.0
+    (fun r -> result := Some r);
+  Engine.run engine;
+  match !result with
+  | Some (Error (`Bad_domain_state _)) -> ()
+  | _ -> Alcotest.fail "expected Bad_domain_state"
+
+let test_migrate_dst_out_of_memory () =
+  let engine, vmm_a, vmm_b = two_hosts () in
+  (* Fill the destination so the reservation fails. *)
+  let hog = ref None in
+  Vmm.create_domain vmm_b ~name:"hog" ~mem_bytes:(gib 11) (fun r ->
+      hog := Some r);
+  Engine.run engine;
+  check_true "hog placed" (match !hog with Some (Ok _) -> true | _ -> false);
+  let kernel, _ = vm_on engine vmm_a ~name:"vm01" ~mem_bytes:(gib 1) in
+  let result = ref None in
+  Migration.migrate ~src:vmm_a ~dst:vmm_b ~kernel
+    ~dirty_bytes_per_s:1024.0
+    (fun r -> result := Some r);
+  Engine.run engine;
+  (match !result with
+  | Some (Error `Out_of_machine_memory) -> ()
+  | _ -> Alcotest.fail "expected Out_of_machine_memory");
+  (* The source VM is untouched by the failure. *)
+  check_true "still on src"
+    (Domain.state (Guest.Kernel.domain kernel) = Domain.Running)
+
+let test_evacuate_serializes () =
+  let engine, vmm_a, vmm_b = two_hosts () in
+  let kernels =
+    List.map
+      (fun i ->
+        fst (vm_on engine vmm_a ~name:(Printf.sprintf "vm%02d" i)
+               ~mem_bytes:(gib 1)))
+      [ 1; 2; 3 ]
+  in
+  let t0 = Engine.now engine in
+  let result = ref None in
+  Migration.evacuate ~src:vmm_a ~dst:vmm_b ~kernels
+    ~dirty_bytes_per_s:(1.0 *. 1048576.0)
+    (fun r -> result := Some r);
+  Engine.run engine;
+  check_true "all moved" (!result = Some (Ok ()));
+  check_int "src empty" 0 (List.length (Vmm.domus vmm_a));
+  check_int "dst has three" 3 (List.length (Vmm.domus vmm_b));
+  let elapsed = Engine.now engine -. t0 in
+  (* Three serial ~27 s migrations. *)
+  check_in_band "serial duration" ~lo:70.0 ~hi:110.0 elapsed
+
+let test_evacuation_slower_than_warm_reboot () =
+  (* Section 6's comparison, executed: evacuating a host takes far
+     longer than warm-rebooting it, even though per-VM downtime is
+     tiny. *)
+  let engine, vmm_a, vmm_b = two_hosts () in
+  let kernels =
+    List.map
+      (fun i ->
+        fst (vm_on engine vmm_a ~name:(Printf.sprintf "vm%02d" i)
+               ~mem_bytes:(gib 1)))
+      [ 1; 2; 3; 4; 5 ]
+  in
+  let t0 = Engine.now engine in
+  let finished = ref false in
+  Migration.evacuate ~src:vmm_a ~dst:vmm_b ~kernels
+    ~dirty_bytes_per_s:(16.0 *. 1048576.0)
+    (fun _ -> finished := true);
+  run_until engine ~flag:finished ~deadline:(t0 +. 2000.0);
+  let evacuation = Engine.now engine -. t0 in
+  let warm =
+    (Rejuv.Experiment.run_reboot ~strategy:Rejuv.Strategy.Warm ~vm_count:5
+       ~vm_mem_bytes:(gib 1) ())
+      .Rejuv.Experiment.downtime_mean_s
+  in
+  check_true "evacuation takes much longer than the warm outage"
+    (evacuation > 5.0 *. warm)
+
+let suite =
+  ( "migration",
+    [
+      Alcotest.test_case "plan: idle VM" `Quick test_plan_idle_vm_converges_fast;
+      Alcotest.test_case "plan: busy VM ~ Clark" `Quick
+        test_plan_matches_clark_for_busy_vm;
+      Alcotest.test_case "plan: rounds shrink" `Quick test_plan_rounds_shrink;
+      Alcotest.test_case "plan: divergence rejected" `Quick
+        test_plan_diverging_rate_rejected;
+      Alcotest.test_case "plan: stop-and-copy only" `Quick
+        test_plan_stop_and_copy_only;
+      Alcotest.test_case "migrate moves VM" `Quick test_migrate_moves_vm;
+      Alcotest.test_case "migrate downtime negligible" `Quick
+        test_migrate_downtime_negligible;
+      Alcotest.test_case "migrate preserves cache" `Quick
+        test_migrate_preserves_page_cache;
+      Alcotest.test_case "migrate requires running" `Quick
+        test_migrate_requires_running;
+      Alcotest.test_case "migrate dst OOM" `Quick test_migrate_dst_out_of_memory;
+      Alcotest.test_case "evacuate serializes" `Quick test_evacuate_serializes;
+      Alcotest.test_case "evacuation vs warm reboot" `Slow
+        test_evacuation_slower_than_warm_reboot;
+    ] )

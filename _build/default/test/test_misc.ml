@@ -1,0 +1,164 @@
+(* Breadth coverage: migration-plan properties, policy schedule
+   properties, cluster timeline sanity, availability arithmetic and a
+   few API corners not exercised elsewhere. *)
+open Helpers
+module Migration = Rejuv.Migration
+module Policy = Rejuv.Policy
+module Cluster = Rejuv.Cluster
+module Availability = Rejuv.Availability
+module Strategy = Rejuv.Strategy
+
+let prop_migration_plan_sane =
+  qtest ~count:200 "migration plans are internally consistent"
+    QCheck.(pair (int_range 1 16) (float_range 0.5 30.0))
+    (fun (mem_gib, dirty_mib) ->
+      let config = Migration.default_config in
+      let dirty = dirty_mib *. 1048576.0 in
+      if dirty >= config.Migration.link_bytes_per_s then true
+      else begin
+        let p =
+          Migration.plan ~config ~mem_bytes:(Simkit.Units.gib mem_gib)
+            ~dirty_bytes_per_s:dirty ()
+        in
+        let rounds = List.length p.Migration.rounds in
+        rounds <= config.Migration.max_rounds
+        && p.Migration.downtime_s < p.Migration.total_s
+        && p.Migration.downtime_s > 0.0
+        && (rounds = config.Migration.max_rounds
+           || p.Migration.stop_copy_bytes
+              <= config.Migration.stop_threshold_bytes)
+        && p.Migration.precopy_s
+           = List.fold_left (fun a (_, d) -> a +. d) 0.0 p.Migration.rounds
+      end)
+
+let prop_policy_schedule_spacing =
+  qtest ~count:100 "OS rejuvenations are never closer than the interval"
+    QCheck.(pair (int_range 1 4) (float_range 1.1 8.0))
+    (fun (vm_count, vmm_weeks) ->
+      let week = Simkit.Units.weeks 1.0 in
+      let events =
+        Policy.schedule ~strategy:Strategy.Cold ~vm_count ~os_interval_s:week
+          ~vmm_interval_s:(vmm_weeks *. week)
+          ~horizon_s:(10.0 *. week)
+      in
+      let per_vm vm =
+        List.filter_map
+          (function
+            | Policy.Os_rejuvenation { vm = v; at } when v = vm -> Some at
+            | _ -> None)
+          events
+      in
+      let rec spaced = function
+        | a :: (b :: _ as rest) -> b -. a >= week -. 1.0 && spaced rest
+        | _ -> true
+      in
+      List.for_all (fun vm -> spaced (per_vm vm))
+        (List.init vm_count Fun.id)
+      && List.for_all
+           (fun e -> Policy.event_time e < 10.0 *. week)
+           events)
+
+let prop_cluster_timelines_bounded =
+  qtest ~count:100 "cluster throughput stays within [0, m*p]"
+    QCheck.(pair (int_range 2 12) (float_range 10.0 1000.0))
+    (fun (m, reboot_at) ->
+      let p = Cluster.paper_params ~m ~p:1.0 () in
+      let full = float_of_int m in
+      let check tl =
+        List.for_all (fun (_, v) -> v >= 0.0 && v <= full +. 1e-9) tl
+      in
+      check (Cluster.warm_timeline p ~reboot_at)
+      && check (Cluster.cold_timeline p ~reboot_at)
+      && check (Cluster.migration_timeline p ~migrate_at:reboot_at)
+      && Cluster.lost_capacity p (Cluster.warm_timeline p ~reboot_at)
+           ~horizon_s:(reboot_at +. 1000.0)
+         >= 0.0)
+
+let prop_warm_always_cheapest_rolling =
+  qtest ~count:50 "rolling warm never loses more capacity than rolling cold"
+    QCheck.(pair (int_range 2 8) (float_range 50.0 400.0))
+    (fun (m, gap_s) ->
+      let p = Cluster.paper_params ~m ~p:1.0 () in
+      let lost strategy =
+        Cluster.lost_capacity p
+          (Cluster.rolling_rejuvenation p ~strategy ~start_at:10.0 ~gap_s)
+          ~horizon_s:10_000.0
+      in
+      lost Strategy.Warm <= lost Strategy.Cold)
+
+let test_availability_downtime_breakdown () =
+  let p = Availability.paper_example Strategy.Warm ~vmm_downtime_s:42.0 in
+  (* 4 weekly OS rejuvenations + one warm reboot per 4-week interval. *)
+  check_float ~eps:1e-6 "warm interval downtime"
+    ((4.0 *. 33.6) +. 42.0)
+    (Availability.downtime_per_vmm_interval p);
+  let c = Availability.paper_example Strategy.Cold ~vmm_downtime_s:241.0 in
+  check_float ~eps:1e-6 "cold absorbs alpha of one OS reboot"
+    ((3.5 *. 33.6) +. 241.0)
+    (Availability.downtime_per_vmm_interval c)
+
+let test_workload_names () =
+  check_true "ssh" (Rejuv.Scenario.workload_name Rejuv.Scenario.Ssh = "ssh");
+  check_true "jboss"
+    (Rejuv.Scenario.workload_name Rejuv.Scenario.Jboss = "jboss");
+  check_true "web"
+    (Rejuv.Scenario.workload_name
+       (Rejuv.Scenario.Web { file_count = 1; file_bytes = 1; warm_cache = false })
+    = "web")
+
+let test_with_memory_scales_disk () =
+  let c = Rejuv.Calibration.with_memory Rejuv.Calibration.default ~gib:128 in
+  check_int "memory set" (Simkit.Units.gib 128) c.Rejuv.Calibration.host.Hw.Host.mem_bytes;
+  check_true "disk can hold full-memory images"
+    (c.Rejuv.Calibration.host.Hw.Host.disk_capacity_bytes
+    >= 2 * Simkit.Units.gib 128)
+
+let test_dirty_rates_ordered () =
+  let r w = Migration.dirty_rate_of_workload w in
+  check_true "ssh < jboss" (r Rejuv.Scenario.Ssh < r Rejuv.Scenario.Jboss);
+  check_true "jboss < web"
+    (r Rejuv.Scenario.Jboss
+    < r (Rejuv.Scenario.Web { file_count = 1; file_bytes = 1; warm_cache = false }))
+
+let test_image_pp () =
+  let s = Format.asprintf "%a" Xenvmm.Image.pp Xenvmm.Image.default in
+  check_true "mentions initrd" (String.length s > 10)
+
+let test_warm_reboot_trace_has_expected_spans () =
+  let s =
+    Rejuv.Scenario.create ~vm_count:2 ~vm_mem_bytes:(Simkit.Units.gib 1)
+      ~workload:Rejuv.Scenario.Ssh ()
+  in
+  Rejuv.Roothammer.start_and_run s;
+  ignore (Rejuv.Roothammer.rejuvenate_blocking s ~strategy:Strategy.Warm);
+  let labels =
+    List.map (fun (l, _, _) -> l) (Simkit.Trace.spans (Rejuv.Scenario.trace s))
+  in
+  List.iter
+    (fun expected ->
+      check_true (expected ^ " present") (List.mem expected labels))
+    [
+      "dom0 shutdown"; "on-memory suspend"; "quick reload (xexec)";
+      "memory scrub (free only)"; "dom0 boot"; "vmm reboot";
+      "pre-reboot tasks"; "post-reboot tasks";
+    ];
+  check_false "no hardware reset in the warm path"
+    (List.mem "hardware reset (POST)" labels)
+
+let suite =
+  ( "misc",
+    [
+      prop_migration_plan_sane;
+      prop_policy_schedule_spacing;
+      prop_cluster_timelines_bounded;
+      prop_warm_always_cheapest_rolling;
+      Alcotest.test_case "availability breakdown" `Quick
+        test_availability_downtime_breakdown;
+      Alcotest.test_case "workload names" `Quick test_workload_names;
+      Alcotest.test_case "with_memory scales disk" `Quick
+        test_with_memory_scales_disk;
+      Alcotest.test_case "dirty rates ordered" `Quick test_dirty_rates_ordered;
+      Alcotest.test_case "image pp" `Quick test_image_pp;
+      Alcotest.test_case "warm trace spans" `Quick
+        test_warm_reboot_trace_has_expected_spans;
+    ] )

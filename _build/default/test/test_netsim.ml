@@ -1,0 +1,190 @@
+(* Prober, httperf, balancer and link models. *)
+open Helpers
+module Engine = Simkit.Engine
+module Prober = Netsim.Prober
+module Httperf = Netsim.Httperf
+module Balancer = Netsim.Balancer
+module Link = Netsim.Link
+
+(* --- prober -------------------------------------------------------------- *)
+
+let test_prober_measures_outage () =
+  let e = Engine.create () in
+  let up = ref true in
+  let p = Prober.create e ~interval_s:0.1 ~is_up:(fun () -> !up) () in
+  Prober.start p;
+  ignore (Engine.schedule e ~delay:10.0 (fun () -> up := false));
+  ignore (Engine.schedule e ~delay:52.0 (fun () -> up := true));
+  ignore (Engine.schedule e ~delay:80.0 (fun () -> Prober.stop p));
+  Engine.run e;
+  (match Prober.downtimes p with
+  | [ d ] -> check_in_band "42 s outage" ~lo:41.8 ~hi:42.3 d
+  | l -> Alcotest.failf "expected one outage, got %d" (List.length l));
+  check_true "longest" (Prober.longest_outage p <> None)
+
+let test_prober_multiple_outages () =
+  let e = Engine.create () in
+  let up = ref true in
+  let p = Prober.create e ~interval_s:0.1 ~is_up:(fun () -> !up) () in
+  Prober.start p;
+  let set v at = ignore (Engine.schedule e ~delay:at (fun () -> up := v)) in
+  set false 5.0; set true 10.0; set false 20.0; set true 40.0;
+  ignore (Engine.schedule e ~delay:50.0 (fun () -> Prober.stop p));
+  Engine.run e;
+  check_int "two outages" 2 (List.length (Prober.outages p));
+  check_in_band "total ~25" ~lo:24.5 ~hi:25.6 (Prober.total_downtime p);
+  (match Prober.longest_outage p with
+  | Some l -> check_in_band "longest ~20" ~lo:19.5 ~hi:20.5 l
+  | None -> Alcotest.fail "expected outages")
+
+let test_prober_in_progress_outage () =
+  let e = Engine.create () in
+  let p = Prober.create e ~interval_s:0.1 ~is_up:(fun () -> false) () in
+  Prober.start p;
+  ignore (Engine.schedule e ~delay:5.0 (fun () -> Prober.stop p));
+  Engine.run e;
+  check_int "not completed" 0 (List.length (Prober.outages p));
+  check_true "tracked as in progress" (Prober.currently_down_since p <> None)
+
+let test_prober_never_down () =
+  let e = Engine.create () in
+  let p = Prober.create e ~is_up:(fun () -> true) () in
+  Prober.start p;
+  ignore (Engine.schedule e ~delay:5.0 (fun () -> Prober.stop p));
+  Engine.run e;
+  check_int "clean" 0 (List.length (Prober.outages p));
+  check_float "zero downtime" 0.0 (Prober.total_downtime p)
+
+(* --- httperf ------------------------------------------------------------- *)
+
+let test_httperf_closed_loop_throughput () =
+  let e = Engine.create () in
+  (* Each request takes exactly 0.1 s; 4 connections => 40 req/s. *)
+  let request k = ignore (Engine.schedule e ~delay:0.1 (fun () -> k true)) in
+  let load = Httperf.create e ~connections:4 ~request () in
+  Httperf.start load;
+  ignore (Engine.schedule e ~delay:10.0 (fun () -> Httperf.stop load));
+  Engine.run e;
+  check_in_band "about 400 completions" ~lo:395.0 ~hi:405.0
+    (float_of_int (Httperf.completed load));
+  check_in_band "rate" ~lo:38.0 ~hi:42.0
+    (Httperf.throughput_between load ~lo:1.0 ~hi:9.0)
+
+let test_httperf_retries_after_failure () =
+  let e = Engine.create () in
+  let server_up = ref false in
+  let request k =
+    if !server_up then ignore (Engine.schedule e ~delay:0.1 (fun () -> k true))
+    else k false
+  in
+  let load = Httperf.create e ~connections:1 ~retry_backoff_s:0.5 ~request () in
+  Httperf.start load;
+  ignore (Engine.schedule e ~delay:5.0 (fun () -> server_up := true));
+  ignore (Engine.schedule e ~delay:10.0 (fun () -> Httperf.stop load));
+  Engine.run e;
+  check_true "failures recorded" (Httperf.failed load > 5);
+  check_true "recovered" (Httperf.completed load > 40)
+
+let test_httperf_window_throughput () =
+  let e = Engine.create () in
+  let request k = ignore (Engine.schedule e ~delay:0.05 (fun () -> k true)) in
+  let load = Httperf.create e ~connections:1 ~request () in
+  Httperf.start load;
+  ignore (Engine.schedule e ~delay:10.0 (fun () -> Httperf.stop load));
+  Engine.run e;
+  let windows = Httperf.mean_window_throughput load ~every:50 in
+  check_true "has windows" (windows <> []);
+  List.iter
+    (fun (_, rate) -> check_in_band "20 req/s" ~lo:19.0 ~hi:21.0 rate)
+    windows
+
+(* --- balancer ------------------------------------------------------------ *)
+
+let test_balancer_capacity () =
+  let e = Engine.create () in
+  let b = Balancer.create e () in
+  let h1 = Balancer.add_host b ~name:"h1" ~capacity:100.0 in
+  let _h2 = Balancer.add_host b ~name:"h2" ~capacity:100.0 in
+  check_float "full" 200.0 (Balancer.total_throughput b);
+  Balancer.set_down h1;
+  check_float "one down" 100.0 (Balancer.total_throughput b);
+  Balancer.set_up h1;
+  Balancer.set_degraded h1 ~factor:0.31;
+  check_float "degraded" 131.0 (Balancer.total_throughput b);
+  Balancer.set_up h1;
+  check_float "recovered resets factor" 200.0 (Balancer.total_throughput b)
+
+let test_balancer_sampling () =
+  let e = Engine.create () in
+  let b = Balancer.create e () in
+  let h = Balancer.add_host b ~name:"h" ~capacity:10.0 in
+  let series = Balancer.start_sampling b ~interval_s:1.0 in
+  ignore (Engine.schedule e ~delay:4.5 (fun () -> Balancer.set_down h));
+  ignore (Engine.schedule e ~delay:8.5 (fun () -> Balancer.set_up h));
+  ignore (Engine.schedule e ~delay:12.0 (fun () -> Balancer.stop_sampling b));
+  Engine.run e;
+  let at time =
+    match
+      List.find_opt (fun (t, _) -> Float.abs (t -. time) < 0.01)
+        (Simkit.Series.to_list series)
+    with
+    | Some (_, v) -> v
+    | None -> Alcotest.failf "no sample at %.1f" time
+  in
+  check_float "before" 10.0 (at 3.0);
+  check_float "during" 0.0 (at 6.0);
+  check_float "after" 10.0 (at 10.0)
+
+(* --- link ---------------------------------------------------------------- *)
+
+let test_link_latency_and_bandwidth () =
+  let e = Engine.create () in
+  let link = Link.create e ~latency_ms:10.0 ~gbit_per_s:1.0 () in
+  let d =
+    task_duration e (fun k -> Link.send link ~bytes:12_500_000 k)
+  in
+  (* 12.5 MB at 125 MB/s = 0.1 s + 10 ms latency. *)
+  check_close ~tolerance:0.01 "wire + latency" 0.11 d
+
+let test_link_round_trip () =
+  let e = Engine.create () in
+  let link = Link.create e ~latency_ms:5.0 ~gbit_per_s:1.0 () in
+  let d =
+    task_duration e (fun k ->
+        Link.round_trip link ~request_bytes:0 ~response_bytes:0 k)
+  in
+  check_close ~tolerance:0.01 "two latencies" 0.01 d
+
+let test_link_sharing () =
+  let e = Engine.create () in
+  let link = Link.create e ~latency_ms:0.0 ~gbit_per_s:1.0 () in
+  let t1 = ref nan and t2 = ref nan in
+  Link.send link ~bytes:62_500_000 (fun () -> t1 := Engine.now e);
+  Link.send link ~bytes:62_500_000 (fun () -> t2 := Engine.now e);
+  Engine.run e;
+  (* Two 0.5 s transfers sharing the wire both land at ~1 s. *)
+  check_close ~tolerance:0.01 "shared" 1.0 !t1;
+  check_close ~tolerance:0.01 "shared" 1.0 !t2
+
+let suite =
+  ( "netsim",
+    [
+      Alcotest.test_case "prober measures outage" `Quick
+        test_prober_measures_outage;
+      Alcotest.test_case "prober multiple outages" `Quick
+        test_prober_multiple_outages;
+      Alcotest.test_case "prober in-progress outage" `Quick
+        test_prober_in_progress_outage;
+      Alcotest.test_case "prober never down" `Quick test_prober_never_down;
+      Alcotest.test_case "httperf closed loop" `Quick
+        test_httperf_closed_loop_throughput;
+      Alcotest.test_case "httperf retries" `Quick
+        test_httperf_retries_after_failure;
+      Alcotest.test_case "httperf windows" `Quick test_httperf_window_throughput;
+      Alcotest.test_case "balancer capacity" `Quick test_balancer_capacity;
+      Alcotest.test_case "balancer sampling" `Quick test_balancer_sampling;
+      Alcotest.test_case "link latency+bandwidth" `Quick
+        test_link_latency_and_bandwidth;
+      Alcotest.test_case "link round trip" `Quick test_link_round_trip;
+      Alcotest.test_case "link sharing" `Quick test_link_sharing;
+    ] )

@@ -1,0 +1,212 @@
+open Helpers
+module Scheduler = Xenvmm.Scheduler
+module Engine = Simkit.Engine
+
+let make ?physical_cpus () =
+  let e = Engine.create () in
+  (e, Scheduler.create e ?physical_cpus ())
+
+let run_job e s ~domid ~work =
+  let t = ref nan in
+  Scheduler.run_work s ~domid ~work (fun () -> t := Engine.now e);
+  t
+
+let test_single_domain_uses_all_cpus () =
+  let e, s = make ~physical_cpus:4 () in
+  let t = run_job e s ~domid:1 ~work:8.0 in
+  Engine.run e;
+  (* 8 CPU-seconds on 4 CPUs. *)
+  check_float ~eps:1e-6 "full machine" 2.0 !t
+
+let test_equal_weights_share_equally () =
+  let e, s = make ~physical_cpus:1 () in
+  let t1 = run_job e s ~domid:1 ~work:3.0 in
+  let t2 = run_job e s ~domid:2 ~work:3.0 in
+  Engine.run e;
+  check_float ~eps:1e-6 "dom1" 6.0 !t1;
+  check_float ~eps:1e-6 "dom2" 6.0 !t2
+
+let test_weights_bias_shares () =
+  (* Weight 512 vs 256: the heavy domain gets 2/3 of the CPU. *)
+  let e, s = make ~physical_cpus:1 () in
+  Scheduler.set_params s ~domid:1
+    { Scheduler.weight = 512; cap_percent = None };
+  Scheduler.set_params s ~domid:2
+    { Scheduler.weight = 256; cap_percent = None };
+  let t1 = run_job e s ~domid:1 ~work:2.0 in
+  let t2 = run_job e s ~domid:2 ~work:2.0 in
+  Engine.run e;
+  (* dom1 at rate 2/3 finishes at 3.0 (2 / (2/3)); dom2 then has
+     2 - 3*(1/3) = 1 left, alone at rate 1 -> t=4. *)
+  check_float ~eps:1e-6 "heavy first" 3.0 !t1;
+  check_float ~eps:1e-6 "light later" 4.0 !t2
+
+let test_cap_limits_idle_host () =
+  (* A 25 % cap holds even with the machine otherwise idle. *)
+  let e, s = make ~physical_cpus:4 () in
+  Scheduler.set_params s ~domid:1
+    { Scheduler.weight = 256; cap_percent = Some 25 };
+  let t = run_job e s ~domid:1 ~work:1.0 in
+  Engine.run e;
+  check_float ~eps:1e-6 "capped rate" 4.0 !t
+
+let test_cap_surplus_reflows () =
+  (* One capped and one uncapped domain on one CPU: the uncapped one
+     absorbs the capacity the cap leaves on the table. *)
+  let e, s = make ~physical_cpus:1 () in
+  Scheduler.set_params s ~domid:1
+    { Scheduler.weight = 256; cap_percent = Some 20 };
+  Scheduler.set_params s ~domid:2
+    { Scheduler.weight = 256; cap_percent = None };
+  let t1 = run_job e s ~domid:1 ~work:1.0 in
+  let t2 = run_job e s ~domid:2 ~work:1.6 in
+  Engine.run e;
+  (* dom1 pinned at 0.2; dom2 gets 0.8: finishes 1.6/0.8 = 2.0; then
+     dom1 still at its cap: 1 - 2*0.2 = 0.6 left at 0.2 -> 3 more s. *)
+  check_float ~eps:1e-6 "uncapped finishes first" 2.0 !t2;
+  check_float ~eps:1e-6 "capped grinds on" 5.0 !t1
+
+let test_jobs_within_domain_share_its_rate () =
+  let e, s = make ~physical_cpus:1 () in
+  let ta = run_job e s ~domid:1 ~work:1.0 in
+  let tb = run_job e s ~domid:1 ~work:1.0 in
+  let tc = run_job e s ~domid:2 ~work:1.0 in
+  Engine.run e;
+  (* Domain shares are 1/2 each; dom1's two jobs get 1/4 each. The
+     domain split is per-domain fair, not per-job fair. *)
+  check_float ~eps:1e-6 "dom2 job" 2.0 !tc;
+  check_float ~eps:1e-6 "dom1 job a" 3.0 !ta;
+  check_float ~eps:1e-6 "dom1 job b" 3.0 !tb
+
+let test_params_roundtrip_and_validation () =
+  let _e, s = make () in
+  check_int "default weight" 256 (Scheduler.params_of s ~domid:7).Scheduler.weight;
+  Scheduler.set_params s ~domid:7 { Scheduler.weight = 128; cap_percent = Some 50 };
+  check_int "updated" 128 (Scheduler.params_of s ~domid:7).Scheduler.weight;
+  Scheduler.remove_domain s ~domid:7;
+  check_int "back to default" 256
+    (Scheduler.params_of s ~domid:7).Scheduler.weight;
+  check_true "bad weight"
+    (try Scheduler.set_params s ~domid:1 { Scheduler.weight = 0; cap_percent = None };
+       false
+     with Invalid_argument _ -> true)
+
+let test_zero_work () =
+  let e, s = make () in
+  let fired = ref false in
+  Scheduler.run_work s ~domid:1 ~work:0.0 (fun () -> fired := true);
+  Engine.run e;
+  check_true "completed" !fired
+
+let test_utilization_full_when_busy () =
+  let e, s = make ~physical_cpus:2 () in
+  ignore (run_job e s ~domid:1 ~work:4.0);
+  ignore (run_job e s ~domid:2 ~work:4.0);
+  Engine.run e;
+  check_close ~tolerance:0.01 "fully utilized" 1.0 (Scheduler.utilization s)
+
+let test_utilization_capped () =
+  let e, s = make ~physical_cpus:2 () in
+  Scheduler.set_params s ~domid:1
+    { Scheduler.weight = 256; cap_percent = Some 50 };
+  ignore (run_job e s ~domid:1 ~work:1.0);
+  Engine.run e;
+  (* Only 0.5 of 2 CPUs used while busy. *)
+  check_close ~tolerance:0.01 "quarter utilized" 0.25 (Scheduler.utilization s)
+
+let prop_conservation =
+  qtest ~count:100 "total work delivered equals total work submitted"
+    QCheck.(
+      list_of_size (Gen.int_range 1 8)
+        (pair (int_range 1 4) (float_range 0.1 5.0)))
+    (fun jobs ->
+      let e, s = make ~physical_cpus:2 () in
+      let completed = ref 0 in
+      List.iter
+        (fun (domid, work) ->
+          Scheduler.run_work s ~domid ~work (fun () -> incr completed))
+        jobs;
+      Engine.run e;
+      !completed = List.length jobs)
+
+(* --- integration: weighted guest boots ----------------------------------- *)
+
+let test_weighted_boot_prioritizes_recovery () =
+  (* Two identical VMs boot in parallel; the one with 4x weight is up
+     well before the other — prioritized recovery after a cold
+     reboot. *)
+  let engine = Engine.create () in
+  let host = Hw.Host.create engine in
+  let vmm = Xenvmm.Vmm.create host in
+  run_task engine (Xenvmm.Vmm.power_on vmm);
+  let make name =
+    let r = ref None in
+    Xenvmm.Vmm.create_domain vmm ~name ~mem_bytes:(Simkit.Units.gib 1)
+      (fun x -> r := Some x);
+    Engine.run engine;
+    match !r with
+    | Some (Ok d) -> (d, Guest.Kernel.create vmm d ())
+    | _ -> Alcotest.fail "create failed"
+  in
+  let d1, k1 = make "critical" in
+  let _d2, k2 = make "batch" in
+  Scheduler.set_params (Xenvmm.Vmm.scheduler vmm) ~domid:(Xenvmm.Domain.id d1)
+    { Scheduler.weight = 1024; cap_percent = None };
+  let t1 = ref nan and t2 = ref nan in
+  let t0 = Engine.now engine in
+  Guest.Kernel.boot k1 (fun () -> t1 := Engine.now engine -. t0);
+  Guest.Kernel.boot k2 (fun () -> t2 := Engine.now engine -. t0);
+  Engine.run engine;
+  check_true "critical VM up first" (!t1 < !t2);
+  (* Weight 1024 vs 256: critical gets 4/5 of the capacity. Its shared
+     phase takes 3.4/(4/5) = 4.25 s (vs 6.8 s unweighted). *)
+  check_in_band "critical boot time" ~lo:6.5 ~hi:7.5 !t1;
+  check_true "batch VM still completes" (Float.is_nan !t2 = false)
+
+let test_equal_weights_match_calibration () =
+  (* With default weights, the scheduler reproduces the calibrated
+     boot(n) = 3.4 n + 2.8 exactly. *)
+  let engine = Engine.create () in
+  let host = Hw.Host.create engine in
+  let vmm = Xenvmm.Vmm.create host in
+  run_task engine (Xenvmm.Vmm.power_on vmm);
+  let kernels =
+    List.init 6 (fun i ->
+        let r = ref None in
+        Xenvmm.Vmm.create_domain vmm
+          ~name:(Printf.sprintf "vm%d" i)
+          ~mem_bytes:(Simkit.Units.gib 1)
+          (fun x -> r := Some x);
+        Engine.run engine;
+        match !r with
+        | Some (Ok d) -> Guest.Kernel.create vmm d ()
+        | _ -> Alcotest.fail "create failed")
+  in
+  let duration =
+    task_duration engine
+      (Simkit.Process.par (List.map Guest.Kernel.boot kernels))
+  in
+  check_close ~tolerance:0.02 "boot(6)" ((3.4 *. 6.0) +. 2.8) duration
+
+let suite =
+  ( "scheduler",
+    [
+      Alcotest.test_case "single domain, all CPUs" `Quick
+        test_single_domain_uses_all_cpus;
+      Alcotest.test_case "equal weights" `Quick test_equal_weights_share_equally;
+      Alcotest.test_case "weights bias shares" `Quick test_weights_bias_shares;
+      Alcotest.test_case "cap on idle host" `Quick test_cap_limits_idle_host;
+      Alcotest.test_case "cap surplus reflows" `Quick test_cap_surplus_reflows;
+      Alcotest.test_case "per-domain fairness" `Quick
+        test_jobs_within_domain_share_its_rate;
+      Alcotest.test_case "params + validation" `Quick
+        test_params_roundtrip_and_validation;
+      Alcotest.test_case "zero work" `Quick test_zero_work;
+      Alcotest.test_case "utilization busy" `Quick test_utilization_full_when_busy;
+      Alcotest.test_case "utilization capped" `Quick test_utilization_capped;
+      prop_conservation;
+      Alcotest.test_case "weighted boot priority" `Quick
+        test_weighted_boot_prioritizes_recovery;
+      Alcotest.test_case "equal weights = calibration" `Quick
+        test_equal_weights_match_calibration;
+    ] )

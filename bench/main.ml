@@ -3,9 +3,11 @@
    paper-vs-measured rows, then runs Bechamel micro-benchmarks of the
    core mechanisms.
 
-   Usage: main.exe [tag ...] where tag is one of
+   Usage: main.exe [-j N] [tag ...] where tag is one of
    fig4 fig5 reload fig6a fig6b avail fig7 fig8a fig8b fits policy fig9
-   migration ablation micro. No tags = everything. *)
+   migration ablation sweep micro. No tags = everything. The swept
+   figures (fig4/fig5/fig6) run their points through the parallel sweep
+   runner on N domains (default: the machine's). *)
 
 let pf = Format.printf
 
@@ -13,6 +15,18 @@ let header title =
   pf "@.=== %s ===@." title
 
 let row4 a b c d = pf "%-10s %14s %14s %14s@." a b c d
+
+let jobs = ref (Runner.Pool.default_jobs ())
+
+(* Run one registered experiment's shards through the sweep runner and
+   return the merged result (byte-identical to the sequential path). *)
+let sweep_result ?(workload = Rejuv.Scenario.Ssh) id =
+  let params = { Rejuv.Experiment.Spec.default_params with workload } in
+  let merged, outcomes = Rejuv.Experiment.sweep ~jobs:!jobs ~params [ id ] in
+  pf "(%d runs, %d domain(s), %.2f s of run wall-clock)@."
+    (List.length outcomes) !jobs
+    (Runner.Sweep.total_wall_s outcomes);
+  List.assoc id merged
 
 (* --- Figure 4 / Figure 5 ------------------------------------------------- *)
 
@@ -26,17 +40,22 @@ let print_task_times ~x_label rows =
         r.shutdown_s r.boot_s)
     rows
 
+let task_times_of id ~workload =
+  match sweep_result ~workload id with
+  | Rejuv.Experiment.Result.Task_times rows -> rows
+  | _ -> assert false
+
 let fig4 () =
   header "Figure 4: pre/post-reboot task time vs VM memory size (1 VM)";
   pf "paper at 11 GiB: on-mem suspend 0.08 s, resume 0.9 s;@.";
   pf "                Xen save ~133 s, restore ~129 s (0.06%% / 0.7%%)@.";
-  print_task_times ~x_label:"GiB" (Rejuv.Experiment.fig4 ())
+  print_task_times ~x_label:"GiB" (task_times_of "fig4" ~workload:Rejuv.Scenario.Ssh)
 
 let fig5 () =
   header "Figure 5: pre/post-reboot task time vs number of VMs (1 GiB each)";
   pf "paper at 11 VMs: on-mem suspend 0.04 s, resume 4.2 s;@.";
   pf "                Xen save ~200 s, restore ~156 s; boot grows 3.4n@.";
-  print_task_times ~x_label:"VMs" (Rejuv.Experiment.fig5 ())
+  print_task_times ~x_label:"VMs" (task_times_of "fig5" ~workload:Rejuv.Scenario.Ssh)
 
 (* --- Section 5.2 --------------------------------------------------------- *)
 
@@ -59,15 +78,20 @@ let print_fig6 rows =
         r.saved_downtime_s r.cold_downtime_s)
     rows
 
+let fig6_rows workload =
+  match sweep_result ~workload "fig6" with
+  | Rejuv.Experiment.Result.Fig6 rows -> rows
+  | _ -> assert false
+
 let fig6a () =
   header "Figure 6a: downtime of ssh (seconds)";
   pf "paper at 11 VMs: warm 42, saved 429, cold 157@.";
-  print_fig6 (Rejuv.Experiment.fig6 ~workload:Rejuv.Scenario.Ssh ())
+  print_fig6 (fig6_rows Rejuv.Scenario.Ssh)
 
 let fig6b () =
   header "Figure 6b: downtime of JBoss (seconds)";
   pf "paper at 11 VMs: warm ~42 (same as ssh), cold 241@.";
-  print_fig6 (Rejuv.Experiment.fig6 ~workload:Rejuv.Scenario.Jboss ())
+  print_fig6 (fig6_rows Rejuv.Scenario.Jboss)
 
 (* --- Section 5.3 --------------------------------------------------------- *)
 
@@ -374,6 +398,40 @@ let sensitivity () =
   pf "warm reboot still wins everywhere — and on big-memory hosts the@.";
   pf "full-scrub cost it skips grows with installed RAM.@."
 
+(* --- The parallel sweep runner itself -------------------------------------- *)
+
+let sweep () =
+  header "Sweep runner: fig4 + fig5 + fig6 batched across domains";
+  let ids = [ "fig4"; "fig5"; "fig6" ] in
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (r, Unix.gettimeofday () -. t0)
+  in
+  let (seq, _), t_seq = time (fun () -> Rejuv.Experiment.sweep ~jobs:1 ids) in
+  let (par, outcomes), t_par =
+    time (fun () ->
+        Rejuv.Experiment.sweep ~jobs:!jobs ~verify_isolation:true ids)
+  in
+  let bytes merged = Marshal.to_string (List.map snd merged) [] in
+  let run_wall = Runner.Sweep.total_wall_s outcomes in
+  let events =
+    List.fold_left
+      (fun acc (o : _ Runner.Sweep.outcome) -> acc + o.metrics.sim_events)
+      0 outcomes
+  in
+  pf "%d runs, %d sim events; sequential elapsed %.3f s@."
+    (List.length outcomes) events t_seq;
+  pf "%d domain(s): %.3f s of run wall-clock in %.3f s elapsed (overlap %.2fx)@."
+    !jobs run_wall t_par
+    (if t_par > 0.0 then run_wall /. t_par else 1.0);
+  let cores = Domain.recommended_domain_count () in
+  if cores <= 1 then
+    pf "(host reports %d core — domains interleave, elapsed cannot drop)@."
+      cores;
+  pf "merged results byte-identical to the sequential path: %b@."
+    (String.equal (bytes seq) (bytes par))
+
 (* --- Bechamel micro-benchmarks -------------------------------------------- *)
 
 let micro () =
@@ -477,14 +535,21 @@ let sections =
     ("fig6b", fig6b); ("avail", avail); ("fig7", fig7); ("fig8a", fig8a);
     ("fig8b", fig8b); ("fits", fits); ("policy", policy); ("fig9", fig9);
     ("migration", migration); ("ablation", ablation); ("cluster", cluster);
-    ("sensitivity", sensitivity); ("micro", micro);
+    ("sensitivity", sensitivity); ("sweep", sweep); ("micro", micro);
   ]
 
 let () =
+  let rec parse acc = function
+    | [] -> List.rev acc
+    | ("-j" | "--jobs") :: n :: rest ->
+      jobs := max 1 (int_of_string n);
+      parse acc rest
+    | tag :: rest -> parse (tag :: acc) rest
+  in
   let requested =
-    match Array.to_list Sys.argv with
-    | _ :: (_ :: _ as tags) -> tags
-    | _ -> List.map fst sections
+    match parse [] (List.tl (Array.to_list Sys.argv)) with
+    | [] -> List.map fst sections
+    | tags -> tags
   in
   pf "RootHammer benchmark harness — Kourai & Chiba, DSN 2007 reproduction@.";
   List.iter

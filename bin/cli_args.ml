@@ -1,0 +1,87 @@
+(* Shared Cmdliner plumbing: the strategy/workload converters (built on
+   the library parsers, not inline lambdas) and the generic --csv/--json
+   exporter that works for every Experiment.Result. *)
+
+open Cmdliner
+
+let strategy_conv =
+  Arg.conv (Rejuv.Strategy.of_string_result, Rejuv.Strategy.pp)
+
+let workload_conv =
+  let print ppf w =
+    Format.pp_print_string ppf (Rejuv.Scenario.workload_name w)
+  in
+  Arg.conv (Rejuv.Scenario.workload_of_string, print)
+
+let strategy_arg =
+  Arg.(
+    value
+    & opt strategy_conv Rejuv.Strategy.Warm
+    & info [ "strategy" ] ~doc:"Reboot strategy: warm, saved or cold")
+
+let workload_arg =
+  Arg.(
+    value
+    & opt workload_conv Rejuv.Scenario.Ssh
+    & info [ "workload" ] ~doc:"Service in each VM: ssh, jboss or web")
+
+let csv_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "csv" ] ~docv:"FILE" ~doc:"Also write the data as CSV to $(docv)")
+
+let json_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "json" ] ~docv:"FILE"
+        ~doc:"Also write the data as JSON to $(docv)")
+
+let jobs_arg =
+  Arg.(
+    value
+    & opt int (Runner.Pool.default_jobs ())
+    & info [ "j"; "jobs" ] ~docv:"N"
+        ~doc:"Worker domains for parallel sweeps (1 = sequential)")
+
+let write_file path contents =
+  let oc = open_out path in
+  output_string oc contents;
+  close_out oc;
+  Format.printf "wrote %s@." path
+
+let csv_string ~header rows =
+  let line cells = String.concat "," cells in
+  String.concat "\n" (line header :: List.map line rows) ^ "\n"
+
+(* One call exports a whole batch: a single result is written bare, a
+   multi-experiment batch becomes a JSON object / sectioned CSV. *)
+let export ~csv ~json (named : (string * Rejuv.Experiment.Result.t) list) =
+  Option.iter
+    (fun path ->
+      let section (id, r) =
+        let header, rows = Rejuv.Experiment.Result.csv r in
+        match named with
+        | [ _ ] -> csv_string ~header rows
+        | _ -> Printf.sprintf "# %s\n%s" id (csv_string ~header rows)
+      in
+      write_file path (String.concat "\n" (List.map section named)))
+    csv;
+  Option.iter
+    (fun path ->
+      let body =
+        match named with
+        | [ (_, r) ] -> Rejuv.Experiment.Result.to_json r
+        | _ ->
+          "{"
+          ^ String.concat ","
+              (List.map
+                 (fun (id, r) ->
+                   Rejuv.Jsonx.escape id ^ ":"
+                   ^ Rejuv.Experiment.Result.to_json r)
+                 named)
+          ^ "}"
+      in
+      write_file path body)
+    json

@@ -1,7 +1,12 @@
-(* Command-line driver: run individual paper experiments, optionally
-   exporting the data as CSV. `roothammer --help` lists commands. *)
+(* Command-line driver: run individual paper experiments through the
+   experiment registry, export any of them as CSV/JSON, and batch them
+   across CPU cores with `sweep --jobs`. `roothammer --help` lists
+   commands. *)
 
 open Cmdliner
+module Experiment = Rejuv.Experiment
+module Result = Rejuv.Experiment.Result
+module Spec = Rejuv.Experiment.Spec
 
 let pf = Format.printf
 
@@ -15,137 +20,126 @@ let setup_logs verbose =
 let verbose_arg =
   Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Log VMM lifecycle events")
 
-let csv_arg =
-  Arg.(
-    value
-    & opt (some string) None
-    & info [ "csv" ] ~docv:"FILE" ~doc:"Also write the data as CSV to $(docv)")
-
-let write_csv path ~header rows =
-  let oc = open_out path in
-  output_string oc (String.concat "," header);
-  output_char oc '\n';
-  List.iter
-    (fun row ->
-      output_string oc (String.concat "," row);
-      output_char oc '\n')
-    rows;
-  close_out oc;
-  pf "wrote %s@." path
-
-let maybe_csv csv ~header rows =
-  Option.iter (fun path -> write_csv path ~header rows) csv
-
-let workload_arg =
-  let parse s =
-    match String.lowercase_ascii s with
-    | "ssh" -> Ok Rejuv.Scenario.Ssh
-    | "jboss" -> Ok Rejuv.Scenario.Jboss
-    | _ -> Error (`Msg "workload must be ssh or jboss")
-  in
-  let print ppf w = Format.fprintf ppf "%s" (Rejuv.Scenario.workload_name w) in
-  Arg.(
-    value
-    & opt (conv (parse, print)) Rejuv.Scenario.Ssh
-    & info [ "workload" ] ~doc:"Service in each VM: ssh or jboss")
-
-let strategy_arg =
-  let parse s =
-    match Rejuv.Strategy.of_string s with
-    | Some st -> Ok st
-    | None -> Error (`Msg "strategy must be warm, saved or cold")
-  in
-  Arg.(
-    value
-    & opt (conv (parse, Rejuv.Strategy.pp)) Rejuv.Strategy.Warm
-    & info [ "strategy" ] ~doc:"Reboot strategy: warm, saved or cold")
-
 let cmd name ~doc term = Cmd.v (Cmd.info name ~doc) term
 
-(* --- figure commands -------------------------------------------------------- *)
+let run_spec id params = (Spec.find_exn id).Spec.run params
+
+(* --- printing -------------------------------------------------------------- *)
 
 let print_task_times rows ~x_label =
   pf "%-6s %12s %12s %12s %12s %12s %12s@." x_label "onmem-susp" "onmem-res"
     "xen-save" "xen-restore" "shutdown" "boot";
   List.iter
-    (fun (r : Rejuv.Experiment.task_times) ->
+    (fun (r : Experiment.task_times) ->
       pf "%-6d %12.2f %12.2f %12.2f %12.2f %12.2f %12.2f@." r.x
         r.onmem_suspend_s r.onmem_resume_s r.xen_save_s r.xen_restore_s
         r.shutdown_s r.boot_s)
     rows
 
-let task_times_csv rows =
-  List.map
-    (fun (r : Rejuv.Experiment.task_times) ->
-      [
-        string_of_int r.x;
-        Printf.sprintf "%.3f" r.onmem_suspend_s;
-        Printf.sprintf "%.3f" r.onmem_resume_s;
-        Printf.sprintf "%.2f" r.xen_save_s;
-        Printf.sprintf "%.2f" r.xen_restore_s;
-        Printf.sprintf "%.2f" r.shutdown_s;
-        Printf.sprintf "%.2f" r.boot_s;
-      ])
+let print_fig6 rows =
+  pf "%-6s %10s %10s %10s@." "VMs" "warm" "saved" "cold";
+  List.iter
+    (fun (r : Experiment.fig6_row) ->
+      pf "%-6d %10.1f %10.1f %10.1f@." r.n r.warm_downtime_s
+        r.saved_downtime_s r.cold_downtime_s)
     rows
 
-let task_times_header x =
-  [ x; "onmem_suspend_s"; "onmem_resume_s"; "xen_save_s"; "xen_restore_s";
-    "shutdown_s"; "boot_s" ]
+let print_availability rows =
+  List.iter
+    (fun (s, a) ->
+      pf "%-16s %a (%d nines)@." (Rejuv.Strategy.name s)
+        Rejuv.Availability.pp_percent a
+        (Rejuv.Availability.nines a))
+    rows
+
+let print_timeline series =
+  List.iter
+    (fun (name, tl) ->
+      pf "# %s@." name;
+      List.iter (fun (t, v) -> pf "%8.0f %8.2f@." t v) tl)
+    series
+
+(* Generic human rendering, used by `sweep` for whatever was batched. *)
+let print_result id = function
+  | Result.Task_times rows ->
+    pf "# %s@." id;
+    print_task_times rows ~x_label:"x"
+  | Result.Fig6 rows ->
+    pf "# %s@." id;
+    print_fig6 rows
+  | Result.Reload r ->
+    pf "# %s@.quick reload %.1f s, hardware reset %.1f s@." id
+      r.quick_reload_s r.hardware_reset_s
+  | Result.Fig7 r ->
+    pf "# %s (%a): reboot at t=%.0f s, %d throughput windows@." id
+      Rejuv.Strategy.pp r.f7_strategy r.reboot_command_at
+      (List.length r.throughput)
+  | Result.Before_after r ->
+    pf "# %s@.before %.1f/%.1f after %.1f/%.1f  degradation %.0f%%@." id
+      r.first_before r.second_before r.first_after r.second_after
+      (100.0 *. r.degradation)
+  | Result.Availability rows ->
+    pf "# %s@." id;
+    print_availability rows
+  | Result.Fits f ->
+    pf "# %s@.%a" id Rejuv.Downtime_model.pp f
+  | Result.Timeline series ->
+    pf "# %s@." id;
+    print_timeline series
+  | Result.Scalar { label; value } -> pf "# %s@.%s = %.2f@." id label value
+
+(* --- figure commands -------------------------------------------------------- *)
 
 let fig4_cmd =
-  let run verbose csv =
+  let run verbose csv json =
     setup_logs verbose;
-    let rows = Rejuv.Experiment.fig4 () in
-    print_task_times rows ~x_label:"GiB";
-    maybe_csv csv ~header:(task_times_header "mem_gib") (task_times_csv rows)
+    match run_spec "fig4" Spec.default_params with
+    | Result.Task_times rows as r ->
+      print_task_times rows ~x_label:"GiB";
+      Cli_args.export ~csv ~json [ ("fig4", r) ]
+    | _ -> assert false
   in
   cmd "fig4" ~doc:"Task times vs memory size of one VM"
-    Term.(const run $ verbose_arg $ csv_arg)
+    Term.(const run $ verbose_arg $ Cli_args.csv_arg $ Cli_args.json_arg)
 
 let fig5_cmd =
-  let run verbose csv =
+  let run verbose csv json =
     setup_logs verbose;
-    let rows = Rejuv.Experiment.fig5 () in
-    print_task_times rows ~x_label:"VMs";
-    maybe_csv csv ~header:(task_times_header "vm_count") (task_times_csv rows)
+    match run_spec "fig5" Spec.default_params with
+    | Result.Task_times rows as r ->
+      print_task_times rows ~x_label:"VMs";
+      Cli_args.export ~csv ~json [ ("fig5", r) ]
+    | _ -> assert false
   in
   cmd "fig5" ~doc:"Task times vs number of VMs"
-    Term.(const run $ verbose_arg $ csv_arg)
+    Term.(const run $ verbose_arg $ Cli_args.csv_arg $ Cli_args.json_arg)
 
 let reload_cmd =
-  let run verbose =
+  let run verbose csv json =
     setup_logs verbose;
-    let r = Rejuv.Experiment.quick_reload_effect () in
-    pf "quick reload:   %6.1f s (paper: 11 s)@." r.quick_reload_s;
-    pf "hardware reset: %6.1f s (paper: 59 s)@." r.hardware_reset_s
+    match run_spec "quick_reload" Spec.default_params with
+    | Result.Reload r as res ->
+      pf "quick reload:   %6.1f s (paper: 11 s)@." r.quick_reload_s;
+      pf "hardware reset: %6.1f s (paper: 59 s)@." r.hardware_reset_s;
+      Cli_args.export ~csv ~json [ ("quick_reload", res) ]
+    | _ -> assert false
   in
   cmd "reload" ~doc:"Section 5.2: effect of quick reload"
-    Term.(const run $ verbose_arg)
+    Term.(const run $ verbose_arg $ Cli_args.csv_arg $ Cli_args.json_arg)
 
 let fig6_cmd =
-  let run verbose workload csv =
+  let run verbose workload csv json =
     setup_logs verbose;
-    let rows = Rejuv.Experiment.fig6 ~workload () in
-    pf "%-6s %10s %10s %10s@." "VMs" "warm" "saved" "cold";
-    List.iter
-      (fun (r : Rejuv.Experiment.fig6_row) ->
-        pf "%-6d %10.1f %10.1f %10.1f@." r.n r.warm_downtime_s
-          r.saved_downtime_s r.cold_downtime_s)
-      rows;
-    maybe_csv csv
-      ~header:[ "vm_count"; "warm_s"; "saved_s"; "cold_s" ]
-      (List.map
-         (fun (r : Rejuv.Experiment.fig6_row) ->
-           [
-             string_of_int r.n;
-             Printf.sprintf "%.1f" r.warm_downtime_s;
-             Printf.sprintf "%.1f" r.saved_downtime_s;
-             Printf.sprintf "%.1f" r.cold_downtime_s;
-           ])
-         rows)
+    match run_spec "fig6" { Spec.default_params with workload } with
+    | Result.Fig6 rows as r ->
+      print_fig6 rows;
+      Cli_args.export ~csv ~json [ ("fig6", r) ]
+    | _ -> assert false
   in
   cmd "fig6" ~doc:"Downtime of networked services"
-    Term.(const run $ verbose_arg $ workload_arg $ csv_arg)
+    Term.(
+      const run $ verbose_arg $ Cli_args.workload_arg $ Cli_args.csv_arg
+      $ Cli_args.json_arg)
 
 let trace_arg =
   Arg.(
@@ -157,111 +151,210 @@ let trace_arg =
            (chrome://tracing, ui.perfetto.dev) to $(docv)")
 
 let fig7_cmd =
-  let run verbose strategy csv trace =
+  let run verbose strategy csv json trace =
     setup_logs verbose;
-    let r = Rejuv.Experiment.fig7 ~strategy () in
-    Option.iter
-      (fun path ->
-        let oc = open_out path in
-        output_string oc r.Rejuv.Experiment.chrome_trace_json;
-        close_out oc;
-        pf "wrote %s@." path)
-      trace;
-    pf "# %a; reboot command at t=%.0f s@." Rejuv.Strategy.pp r.f7_strategy
-      r.reboot_command_at;
-    (match (r.web_down_at, r.web_up_at) with
-    | Some d, Some u -> pf "# web server down %.1f .. %.1f s@." d u
-    | _ -> ());
-    List.iter
-      (fun (l, a, b) -> pf "# span %-28s %8.1f .. %8.1f@." l a b)
-      r.f7_spans;
-    List.iter (fun (t, v) -> pf "%8.1f %10.1f@." t v) r.throughput;
-    maybe_csv csv ~header:[ "time_s"; "req_per_s" ]
-      (List.map
-         (fun (t, v) ->
-           [ Printf.sprintf "%.2f" t; Printf.sprintf "%.1f" v ])
-         r.throughput)
+    match run_spec "fig7" { Spec.default_params with strategy } with
+    | Result.Fig7 r as res ->
+      Option.iter
+        (fun path -> Cli_args.write_file path r.Experiment.chrome_trace_json)
+        trace;
+      pf "# %a; reboot command at t=%.0f s@." Rejuv.Strategy.pp r.f7_strategy
+        r.reboot_command_at;
+      (match (r.web_down_at, r.web_up_at) with
+      | Some d, Some u -> pf "# web server down %.1f .. %.1f s@." d u
+      | _ -> ());
+      List.iter
+        (fun (l, a, b) -> pf "# span %-28s %8.1f .. %8.1f@." l a b)
+        r.f7_spans;
+      List.iter (fun (t, v) -> pf "%8.1f %10.1f@." t v) r.throughput;
+      Cli_args.export ~csv ~json [ ("fig7", res) ]
+    | _ -> assert false
   in
   cmd "fig7" ~doc:"Throughput timeline during the reboot"
-    Term.(const run $ verbose_arg $ strategy_arg $ csv_arg $ trace_arg)
+    Term.(
+      const run $ verbose_arg $ Cli_args.strategy_arg $ Cli_args.csv_arg
+      $ Cli_args.json_arg $ trace_arg)
 
 let fig8_cmd =
-  let run verbose strategy =
+  let run verbose strategy csv json =
     setup_logs verbose;
-    let file = Rejuv.Experiment.fig8_file ~strategy () in
-    let web = Rejuv.Experiment.fig8_web ~strategy () in
-    pf
-      "file read (MiB/s): before %.0f/%.0f after %.0f/%.0f  degradation %.0f%%@."
-      file.first_before file.second_before file.first_after file.second_after
-      (100.0 *. file.degradation);
-    pf
-      "web (req/s):       before %.0f/%.0f after %.0f/%.0f  degradation %.0f%%@."
-      web.first_before web.second_before web.first_after web.second_after
-      (100.0 *. web.degradation)
+    let params = { Spec.default_params with strategy } in
+    match (run_spec "fig8_file" params, run_spec "fig8_web" params) with
+    | (Result.Before_after file as rf), (Result.Before_after web as rw) ->
+      pf
+        "file read (MiB/s): before %.0f/%.0f after %.0f/%.0f  degradation \
+         %.0f%%@."
+        file.first_before file.second_before file.first_after
+        file.second_after
+        (100.0 *. file.degradation);
+      pf
+        "web (req/s):       before %.0f/%.0f after %.0f/%.0f  degradation \
+         %.0f%%@."
+        web.first_before web.second_before web.first_after web.second_after
+        (100.0 *. web.degradation);
+      Cli_args.export ~csv ~json [ ("fig8_file", rf); ("fig8_web", rw) ]
+    | _ -> assert false
   in
   cmd "fig8" ~doc:"Throughput before/after the reboot"
-    Term.(const run $ verbose_arg $ strategy_arg)
+    Term.(
+      const run $ verbose_arg $ Cli_args.strategy_arg $ Cli_args.csv_arg
+      $ Cli_args.json_arg)
 
 let fits_cmd =
-  let run verbose =
+  let run verbose csv json =
     setup_logs verbose;
-    pf "%a" Rejuv.Downtime_model.pp (Rejuv.Experiment.section_5_6_fits ())
+    match run_spec "section_5_6_fits" Spec.default_params with
+    | Result.Fits f as r ->
+      pf "%a" Rejuv.Downtime_model.pp f;
+      Cli_args.export ~csv ~json [ ("section_5_6_fits", r) ]
+    | _ -> assert false
   in
   cmd "fits" ~doc:"Section 5.6: fitted downtime model"
-    Term.(const run $ verbose_arg)
+    Term.(const run $ verbose_arg $ Cli_args.csv_arg $ Cli_args.json_arg)
 
 let avail_cmd =
-  let run verbose =
+  let run verbose csv json =
     setup_logs verbose;
-    let os_downtime = Rejuv.Experiment.run_os_rejuvenation () in
-    pf "OS rejuvenation downtime: %.1f s (paper: 33.6 s)@." os_downtime;
-    let fig6 =
-      Rejuv.Experiment.fig6 ~vm_counts:[ 11 ] ~workload:Rejuv.Scenario.Jboss ()
-    in
-    let row = List.hd fig6 in
-    let table =
-      Rejuv.Experiment.availability_table ~os_downtime_s:os_downtime
-        ~vmm_downtimes:
-          [
-            (Rejuv.Strategy.Warm, row.warm_downtime_s);
-            (Rejuv.Strategy.Cold, row.cold_downtime_s);
-            (Rejuv.Strategy.Saved, row.saved_downtime_s);
-          ]
-        ()
-    in
-    List.iter
-      (fun (s, a) ->
-        pf "%-16s %a (%d nines)@." (Rejuv.Strategy.name s)
-          Rejuv.Availability.pp_percent a
-          (Rejuv.Availability.nines a))
-      table
+    (match run_spec "os_rejuvenation" Spec.default_params with
+    | Result.Scalar { value; _ } ->
+      pf "OS rejuvenation downtime: %.1f s (paper: 33.6 s)@." value
+    | _ -> assert false);
+    match run_spec "availability" Spec.default_params with
+    | Result.Availability rows as r ->
+      print_availability rows;
+      Cli_args.export ~csv ~json [ ("availability", r) ]
+    | _ -> assert false
   in
-  cmd "avail" ~doc:"Section 5.3: availability" Term.(const run $ verbose_arg)
+  cmd "avail" ~doc:"Section 5.3: availability"
+    Term.(const run $ verbose_arg $ Cli_args.csv_arg $ Cli_args.json_arg)
 
 let fig9_cmd =
-  let run verbose csv =
+  let run verbose csv json =
     setup_logs verbose;
-    let p = Rejuv.Cluster.paper_params () in
-    let horizon = 2400.0 in
-    let all = ref [] in
-    let show name tl =
-      pf "# %s@." name;
+    match run_spec "fig9" Spec.default_params with
+    | Result.Timeline series as r ->
+      let p = Rejuv.Cluster.paper_params () in
+      let horizon = 2400.0 in
       List.iter
-        (fun (t, v) ->
-          all := [ name; Printf.sprintf "%.0f" t; Printf.sprintf "%.2f" v ]
-                 :: !all;
-          pf "%8.0f %8.2f@." t v)
-        tl;
-      pf "# lost capacity over %.0f s: %.1f host-seconds@." horizon
-        (Rejuv.Cluster.lost_capacity p tl ~horizon_s:horizon)
-    in
-    show "warm" (Rejuv.Cluster.warm_timeline p ~reboot_at:600.0);
-    show "cold" (Rejuv.Cluster.cold_timeline p ~reboot_at:600.0);
-    show "migration" (Rejuv.Cluster.migration_timeline p ~migrate_at:600.0);
-    maybe_csv csv ~header:[ "scheme"; "time_s"; "throughput" ] (List.rev !all)
+        (fun (name, tl) ->
+          pf "# %s@." name;
+          List.iter (fun (t, v) -> pf "%8.0f %8.2f@." t v) tl;
+          pf "# lost capacity over %.0f s: %.1f host-seconds@." horizon
+            (Rejuv.Cluster.lost_capacity p tl ~horizon_s:horizon))
+        series;
+      Cli_args.export ~csv ~json [ ("fig9", r) ]
+    | _ -> assert false
   in
   cmd "fig9" ~doc:"Cluster throughput model"
-    Term.(const run $ verbose_arg $ csv_arg)
+    Term.(const run $ verbose_arg $ Cli_args.csv_arg $ Cli_args.json_arg)
+
+(* --- the parallel sweep ----------------------------------------------------- *)
+
+let sweep_cmd =
+  let experiment_conv =
+    let parse s =
+      match Spec.find s with
+      | Some _ -> Ok s
+      | None ->
+        Error
+          (`Msg
+            (Printf.sprintf "unknown experiment %s (known: %s)" s
+               (String.concat ", " (Spec.ids ()))))
+    in
+    Arg.conv (parse, Format.pp_print_string)
+  in
+  let ids_arg =
+    Arg.(
+      value
+      & pos_all experiment_conv [ "fig4"; "fig5"; "fig6" ]
+      & info [] ~docv:"EXPERIMENT"
+          ~doc:
+            "Registered experiments to run (default: fig4 fig5 fig6). \
+             `roothammer list` shows all ids.")
+  in
+  let cache_dir_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "cache-dir" ] ~docv:"DIR"
+          ~doc:
+            "Result cache directory (default $(b,\\$ROOTHAMMER_CACHE) or \
+             $(b,_cache))")
+  in
+  let no_cache_arg =
+    Arg.(
+      value & flag
+      & info [ "no-cache" ] ~doc:"Recompute everything; do not touch the cache")
+  in
+  let verify_arg =
+    Arg.(
+      value & flag
+      & info [ "verify" ]
+          ~doc:
+            "After the parallel pass, re-run one shard sequentially and \
+             assert its bytes match (isolation check)")
+  in
+  let quiet_results_arg =
+    Arg.(
+      value & flag
+      & info [ "metrics-only" ] ~doc:"Print runner metrics but not the data")
+  in
+  let run verbose ids jobs workload strategy cache_dir no_cache verify
+      quiet_results csv json =
+    setup_logs verbose;
+    let params = { Spec.default_params with workload; strategy } in
+    let cache =
+      if no_cache then None else Some (Runner.Cache.create ?dir:cache_dir ())
+    in
+    let t0 = Unix.gettimeofday () in
+    let merged, outcomes =
+      Experiment.sweep ?cache ~jobs ~verify_isolation:verify ~params ids
+    in
+    let elapsed = Unix.gettimeofday () -. t0 in
+    let hits =
+      List.length
+        (List.filter
+           (fun (o : Result.t Runner.Sweep.outcome) -> o.metrics.cached)
+           outcomes)
+    in
+    pf "sweep: %d experiment(s), %d run(s) (%d cached), jobs=%d@."
+      (List.length ids) (List.length outcomes) hits jobs;
+    List.iter
+      (fun (o : Result.t Runner.Sweep.outcome) ->
+        pf "  %-24s %8.3f s %12d events%s@." o.key o.metrics.wall_s
+          o.metrics.sim_events
+          (if o.metrics.cached then "  (cached)" else ""))
+      outcomes;
+    let work = Runner.Sweep.total_wall_s outcomes in
+    if hits = List.length outcomes then
+      pf "all runs served from cache in %.3f s@." elapsed
+    else
+      pf "run wall-clock %.3f s in %.3f s elapsed (parallel speedup %.2fx)@."
+        work elapsed
+        (if elapsed > 0.0 then work /. elapsed else 1.0);
+    if not quiet_results then
+      List.iter (fun (id, r) -> print_result id r) merged;
+    Cli_args.export ~csv ~json merged
+  in
+  cmd "sweep"
+    ~doc:
+      "Run a batch of registered experiments in parallel across CPU cores, \
+       with an on-disk result cache"
+    Term.(
+      const run $ verbose_arg $ ids_arg $ Cli_args.jobs_arg
+      $ Cli_args.workload_arg $ Cli_args.strategy_arg $ cache_dir_arg
+      $ no_cache_arg $ verify_arg $ quiet_results_arg $ Cli_args.csv_arg
+      $ Cli_args.json_arg)
+
+let list_cmd =
+  let run () =
+    List.iter
+      (fun (s : Spec.t) -> pf "%-18s %s@." s.id s.doc)
+      (Spec.all ())
+  in
+  cmd "list" ~doc:"List the registered experiments" Term.(const run $ const ())
+
+(* --- non-registry tools ----------------------------------------------------- *)
 
 let migrate_cmd =
   let mem_arg =
@@ -319,7 +412,9 @@ let schedule_cmd =
       Rejuv.Policy.Load.best_window profile ~duration
         ~horizon:(24.0 *. 3600.0)
     in
-    pf "best %.0f s rejuvenation window starts at %02d:%02d (displaces %.0f requests)@."
+    pf
+      "best %.0f s rejuvenation window starts at %02d:%02d (displaces %.0f \
+       requests)@."
       duration
       (int_of_float (start /. 3600.0))
       (int_of_float (Float.rem start 3600.0 /. 60.0))
@@ -355,7 +450,7 @@ let cluster_cmd =
       (100.0 *. r.Rejuv.Cluster_sim.loss_ratio)
   in
   cmd "cluster" ~doc:"Rolling rejuvenation across a simulated cluster"
-    Term.(const run $ verbose_arg $ hosts_arg $ strategy_arg)
+    Term.(const run $ verbose_arg $ hosts_arg $ Cli_args.strategy_arg)
 
 let report_cmd =
   let n_arg =
@@ -382,6 +477,6 @@ let () =
        (Cmd.group ~default info
           [
             fig4_cmd; fig5_cmd; reload_cmd; fig6_cmd; fig7_cmd; fig8_cmd;
-            fits_cmd; avail_cmd; fig9_cmd; migrate_cmd; schedule_cmd;
-            cluster_cmd; report_cmd;
+            fits_cmd; avail_cmd; fig9_cmd; sweep_cmd; list_cmd; migrate_cmd;
+            schedule_cmd; cluster_cmd; report_cmd;
           ]))

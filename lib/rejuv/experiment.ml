@@ -506,3 +506,420 @@ let section_5_6_fits ?(vm_counts = [ 0; 2; 4; 6; 8; 11 ]) () =
     times.hardware_reset_s -. times.quick_reload_s
   in
   Downtime_model.fit ~reboot_vmm ~resume ~reboot_os ~boot ~reset_hw
+
+(* --- Uniform results ----------------------------------------------------- *)
+
+module Result = struct
+  type t =
+    | Task_times of task_times list
+    | Reload of reload_times
+    | Fig6 of fig6_row list
+    | Fig7 of fig7_result
+    | Before_after of before_after
+    | Availability of (Strategy.t * float) list
+    | Fits of Downtime_model.fits
+    | Timeline of (string * (float * float) list) list
+    | Scalar of { label : string; value : float }
+
+  let kind = function
+    | Task_times _ -> "task_times"
+    | Reload _ -> "reload"
+    | Fig6 _ -> "fig6"
+    | Fig7 _ -> "fig7"
+    | Before_after _ -> "before_after"
+    | Availability _ -> "availability"
+    | Fits _ -> "fits"
+    | Timeline _ -> "timeline"
+    | Scalar _ -> "scalar"
+
+  let jf f = Jsonx.Float f
+
+  let json_task_times (r : task_times) =
+    Jsonx.Obj
+      [
+        ("x", Jsonx.Int r.x);
+        ("onmem_suspend_s", jf r.onmem_suspend_s);
+        ("onmem_resume_s", jf r.onmem_resume_s);
+        ("xen_save_s", jf r.xen_save_s);
+        ("xen_restore_s", jf r.xen_restore_s);
+        ("shutdown_s", jf r.shutdown_s);
+        ("boot_s", jf r.boot_s);
+      ]
+
+  let json_linear (l : Simkit.Stat.linear) =
+    Jsonx.Obj
+      [ ("slope", jf l.slope); ("intercept", jf l.intercept); ("r2", jf l.r2) ]
+
+  let json_pairs ps =
+    Jsonx.Arr (List.map (fun (a, b) -> Jsonx.Arr [ jf a; jf b ]) ps)
+
+  let json_span (l, a, b) =
+    Jsonx.Obj [ ("label", Jsonx.Str l); ("start_s", jf a); ("stop_s", jf b) ]
+
+  let to_json_tree t =
+    let payload =
+      match t with
+      | Task_times rows -> Jsonx.Arr (List.map json_task_times rows)
+      | Reload r ->
+        Jsonx.Obj
+          [
+            ("quick_reload_s", jf r.quick_reload_s);
+            ("hardware_reset_s", jf r.hardware_reset_s);
+          ]
+      | Fig6 rows ->
+        Jsonx.Arr
+          (List.map
+             (fun (r : fig6_row) ->
+               Jsonx.Obj
+                 [
+                   ("vm_count", Jsonx.Int r.n);
+                   ("warm_s", jf r.warm_downtime_s);
+                   ("saved_s", jf r.saved_downtime_s);
+                   ("cold_s", jf r.cold_downtime_s);
+                 ])
+             rows)
+      | Fig7 r ->
+        Jsonx.Obj
+          [
+            ("strategy", Jsonx.Str (Strategy.id r.f7_strategy));
+            ("reboot_command_at", jf r.reboot_command_at);
+            ( "web_down_at",
+              Option.fold ~none:Jsonx.Null ~some:jf r.web_down_at );
+            ("web_up_at", Option.fold ~none:Jsonx.Null ~some:jf r.web_up_at);
+            ("throughput", json_pairs r.throughput);
+            ("spans", Jsonx.Arr (List.map json_span r.f7_spans));
+            ("chrome_trace", Jsonx.Raw r.chrome_trace_json);
+          ]
+      | Before_after r ->
+        Jsonx.Obj
+          [
+            ("first_before", jf r.first_before);
+            ("second_before", jf r.second_before);
+            ("first_after", jf r.first_after);
+            ("second_after", jf r.second_after);
+            ("degradation", jf r.degradation);
+          ]
+      | Availability rows ->
+        Jsonx.Arr
+          (List.map
+             (fun (s, a) ->
+               Jsonx.Obj
+                 [
+                   ("strategy", Jsonx.Str (Strategy.id s));
+                   ("availability", jf a);
+                 ])
+             rows)
+      | Fits f ->
+        Jsonx.Obj
+          [
+            ("reboot_vmm", json_linear f.Downtime_model.reboot_vmm);
+            ("resume", json_linear f.Downtime_model.resume);
+            ("reboot_os", json_linear f.Downtime_model.reboot_os);
+            ("boot", json_linear f.Downtime_model.boot);
+            ("reset_hw", jf f.Downtime_model.reset_hw);
+          ]
+      | Timeline series ->
+        Jsonx.Obj
+          (List.map (fun (name, tl) -> (name, json_pairs tl)) series)
+      | Scalar { label; value } ->
+        Jsonx.Obj [ ("label", Jsonx.Str label); ("value", jf value) ]
+    in
+    Jsonx.Obj [ ("kind", Jsonx.Str (kind t)); ("data", payload) ]
+
+  let to_json t = Jsonx.to_string (to_json_tree t)
+
+  let fl v = Printf.sprintf "%.6g" v
+
+  let csv = function
+    | Task_times rows ->
+      ( [
+          "x"; "onmem_suspend_s"; "onmem_resume_s"; "xen_save_s";
+          "xen_restore_s"; "shutdown_s"; "boot_s";
+        ],
+        List.map
+          (fun (r : task_times) ->
+            [
+              string_of_int r.x; fl r.onmem_suspend_s; fl r.onmem_resume_s;
+              fl r.xen_save_s; fl r.xen_restore_s; fl r.shutdown_s;
+              fl r.boot_s;
+            ])
+          rows )
+    | Reload r ->
+      ( [ "quick_reload_s"; "hardware_reset_s" ],
+        [ [ fl r.quick_reload_s; fl r.hardware_reset_s ] ] )
+    | Fig6 rows ->
+      ( [ "vm_count"; "warm_s"; "saved_s"; "cold_s" ],
+        List.map
+          (fun (r : fig6_row) ->
+            [
+              string_of_int r.n; fl r.warm_downtime_s; fl r.saved_downtime_s;
+              fl r.cold_downtime_s;
+            ])
+          rows )
+    | Fig7 r ->
+      ( [ "time_s"; "req_per_s" ],
+        List.map (fun (t, v) -> [ fl t; fl v ]) r.throughput )
+    | Before_after r ->
+      ( [
+          "first_before"; "second_before"; "first_after"; "second_after";
+          "degradation";
+        ],
+        [
+          [
+            fl r.first_before; fl r.second_before; fl r.first_after;
+            fl r.second_after; fl r.degradation;
+          ];
+        ] )
+    | Availability rows ->
+      ( [ "strategy"; "availability" ],
+        List.map (fun (s, a) -> [ Strategy.id s; Printf.sprintf "%.8f" a ]) rows
+      )
+    | Fits f ->
+      let line name (l : Simkit.Stat.linear) =
+        [ name; fl l.slope; fl l.intercept; fl l.r2 ]
+      in
+      ( [ "component"; "slope"; "intercept"; "r2" ],
+        [
+          line "reboot_vmm" f.Downtime_model.reboot_vmm;
+          line "resume" f.Downtime_model.resume;
+          line "reboot_os" f.Downtime_model.reboot_os;
+          line "boot" f.Downtime_model.boot;
+          [ "reset_hw"; ""; fl f.Downtime_model.reset_hw; "" ];
+        ] )
+    | Timeline series ->
+      ( [ "series"; "time_s"; "value" ],
+        List.concat_map
+          (fun (name, tl) ->
+            List.map (fun (t, v) -> [ name; fl t; fl v ]) tl)
+          series )
+    | Scalar { label; value } ->
+      ([ "label"; "value" ], [ [ label; fl value ] ])
+
+  (* Shard results of one experiment concatenate; scalar-like results
+     only "merge" when the batch produced exactly one of them. *)
+  let merge = function
+    | [] -> invalid_arg "Experiment.Result.merge: empty"
+    | first :: rest ->
+      List.fold_left
+        (fun acc r ->
+          match (acc, r) with
+          | Task_times a, Task_times b -> Task_times (a @ b)
+          | Fig6 a, Fig6 b -> Fig6 (a @ b)
+          | Timeline a, Timeline b -> Timeline (a @ b)
+          | Availability a, Availability b -> Availability (a @ b)
+          | _ ->
+            invalid_arg
+              (Printf.sprintf "Experiment.Result.merge: cannot merge %s + %s"
+                 (kind acc) (kind r)))
+        first rest
+end
+
+(* --- The experiment registry --------------------------------------------- *)
+
+module Spec = struct
+  type params = {
+    seed : int;
+    workload : Scenario.workload;
+    strategy : Strategy.t;
+    vm_counts : int list option;
+    mem_gib : int list option;
+  }
+
+  let default_params =
+    {
+      seed = 42;
+      workload = Scenario.Ssh;
+      strategy = Strategy.Warm;
+      vm_counts = None;
+      mem_gib = None;
+    }
+
+  let ints_key = function
+    | None -> "default"
+    | Some xs -> String.concat "," (List.map string_of_int xs)
+
+  let params_key p =
+    Printf.sprintf "seed=%d;workload=%s;strategy=%s;vm_counts=%s;mem_gib=%s"
+      p.seed
+      (Scenario.workload_name p.workload)
+      (Strategy.id p.strategy) (ints_key p.vm_counts) (ints_key p.mem_gib)
+
+  type nonrec t = {
+    id : string;
+    doc : string;
+    shards : params -> (string * params) list;
+    run : params -> Result.t;
+  }
+
+  let registry : (string, t) Hashtbl.t = Hashtbl.create 16
+
+  let register spec =
+    if Hashtbl.mem registry spec.id then
+      invalid_arg ("Experiment.Spec.register: duplicate id " ^ spec.id);
+    Hashtbl.replace registry spec.id spec
+
+  let find id = Hashtbl.find_opt registry id
+
+  let all () =
+    Hashtbl.fold (fun _ s acc -> s :: acc) registry []
+    |> List.sort (fun a b -> String.compare a.id b.id)
+
+  let ids () = List.map (fun s -> s.id) (all ())
+
+  let find_exn id =
+    match find id with
+    | Some s -> s
+    | None ->
+      invalid_arg
+        (Printf.sprintf "unknown experiment %S (known: %s)" id
+           (String.concat ", " (ids ())))
+end
+
+let default_sweep_counts = [ 1; 3; 5; 7; 9; 11 ]
+
+let () =
+  let single id run =
+    {
+      Spec.id;
+      doc = "";
+      shards = (fun p -> [ (id, p) ]);
+      run;
+    }
+  in
+  let with_doc doc spec = { spec with Spec.doc } in
+  (* Swept figures shard one point per key, zero-padded so lexicographic
+     key order is numeric order; the merged result is then byte-identical
+     to the sequential sweep. *)
+  List.iter Spec.register
+    [
+      {
+        Spec.id = "fig4";
+        doc = "Task times vs memory size of one VM (Figure 4)";
+        shards =
+          (fun p ->
+            List.map
+              (fun g ->
+                ( Printf.sprintf "fig4/mem=%02d" g,
+                  { p with Spec.mem_gib = Some [ g ] } ))
+              (Option.value p.Spec.mem_gib ~default:default_sweep_counts));
+        run =
+          (fun p -> Result.Task_times (fig4 ?mem_gib:p.Spec.mem_gib ()));
+      };
+      {
+        Spec.id = "fig5";
+        doc = "Task times vs number of VMs (Figure 5)";
+        shards =
+          (fun p ->
+            List.map
+              (fun n ->
+                ( Printf.sprintf "fig5/vms=%02d" n,
+                  { p with Spec.vm_counts = Some [ n ] } ))
+              (Option.value p.Spec.vm_counts ~default:default_sweep_counts));
+        run =
+          (fun p -> Result.Task_times (fig5 ?vm_counts:p.Spec.vm_counts ()));
+      };
+      {
+        Spec.id = "fig6";
+        doc = "Downtime of networked services (Figure 6)";
+        shards =
+          (fun p ->
+            List.map
+              (fun n ->
+                ( Printf.sprintf "fig6/vms=%02d" n,
+                  { p with Spec.vm_counts = Some [ n ] } ))
+              (Option.value p.Spec.vm_counts ~default:default_sweep_counts));
+        run =
+          (fun p ->
+            Result.Fig6
+              (fig6 ?vm_counts:p.Spec.vm_counts ~workload:p.Spec.workload ()));
+      };
+      with_doc "Effect of quick reload (Section 5.2)"
+        (single "quick_reload" (fun _ -> Result.Reload (quick_reload_effect ())));
+      with_doc "Downtime of one guest-OS rejuvenation (Section 5.3)"
+        (single "os_rejuvenation" (fun _ ->
+             Result.Scalar
+               {
+                 label = "os_rejuvenation_downtime_s";
+                 value = run_os_rejuvenation ();
+               }));
+      with_doc "Availability table (Section 5.3)"
+        (single "availability" (fun _ ->
+             let os_downtime_s = run_os_rejuvenation () in
+             match fig6 ~vm_counts:[ 11 ] ~workload:Scenario.Jboss () with
+             | [ row ] ->
+               Result.Availability
+                 (availability_table ~os_downtime_s
+                    ~vmm_downtimes:
+                      [
+                        (Strategy.Warm, row.warm_downtime_s);
+                        (Strategy.Cold, row.cold_downtime_s);
+                        (Strategy.Saved, row.saved_downtime_s);
+                      ]
+                    ())
+             | _ -> assert false));
+      with_doc "Web throughput timeline during the reboot (Figure 7)"
+        (single "fig7" (fun p ->
+             Result.Fig7 (fig7 ~strategy:p.Spec.strategy ())));
+      with_doc "File-read throughput before/after the reboot (Figure 8a)"
+        (single "fig8_file" (fun p ->
+             Result.Before_after (fig8_file ~strategy:p.Spec.strategy ())));
+      with_doc "Web throughput before/after the reboot (Figure 8b)"
+        (single "fig8_web" (fun p ->
+             Result.Before_after (fig8_web ~strategy:p.Spec.strategy ())));
+      with_doc "Fitted downtime model (Section 5.6)"
+        (single "section_5_6_fits" (fun p ->
+             Result.Fits (section_5_6_fits ?vm_counts:p.Spec.vm_counts ())));
+      with_doc "Cluster throughput model (Figure 9 / Section 6)"
+        (single "fig9" (fun _ ->
+             let p = Cluster.paper_params () in
+             Result.Timeline
+               [
+                 ("warm", Cluster.warm_timeline p ~reboot_at:600.0);
+                 ("cold", Cluster.cold_timeline p ~reboot_at:600.0);
+                 ("migration", Cluster.migration_timeline p ~migrate_at:600.0);
+               ]));
+    ]
+
+(* --- Parallel sweeps ------------------------------------------------------ *)
+
+let calibration_hash c = Digest.to_hex (Digest.string (Marshal.to_string c []))
+
+let sweep_tasks ?(params = Spec.default_params) ids =
+  (* Registered runs execute under [Calibration.default]; hashing the
+     value (not the name) makes the cache key track any recalibration
+     of the simulated testbed. *)
+  let calibration = calibration_hash Calibration.default in
+  List.concat_map
+    (fun id ->
+      let spec = Spec.find_exn id in
+      List.map
+        (fun (key, p) ->
+          {
+            Runner.Sweep.key;
+            cache_key =
+              Some
+                (Runner.Cache.key ~id:key ~params:(Spec.params_key p)
+                   ~seed:p.Spec.seed ~calibration);
+            run = (fun () -> spec.Spec.run p);
+          })
+        (spec.Spec.shards params))
+    ids
+
+let sweep ?jobs ?cache ?verify_isolation ?(params = Spec.default_params) ids =
+  let outcomes =
+    Runner.Sweep.run ?jobs ?cache ?verify_isolation (sweep_tasks ~params ids)
+  in
+  let merged =
+    List.map
+      (fun id ->
+        let mine =
+          List.filter
+            (fun (o : Result.t Runner.Sweep.outcome) ->
+              String.equal o.key id
+              || String.starts_with ~prefix:(id ^ "/") o.key)
+            outcomes
+        in
+        (id, Result.merge (List.map (fun o -> o.Runner.Sweep.value) mine)))
+      ids
+  in
+  (merged, outcomes)

@@ -124,3 +124,116 @@ val fig8_web : strategy:Strategy.t -> unit -> before_after
 val section_5_6_fits : ?vm_counts:int list -> unit -> Downtime_model.fits
 (** Re-measure the model's component functions on the simulator and
     fit lines, as the paper does from its testbed. *)
+
+(** {1 Uniform results}
+
+    Every experiment's result, wrapped in one sum type so generic
+    tooling — the CLI's [--csv]/[--json] exporters, the sweep runner's
+    cache — can handle all of them uniformly. The typed records above
+    remain the primary API; [Result.t] is the transport. *)
+
+module Result : sig
+  type t =
+    | Task_times of task_times list  (** figures 4 and 5 *)
+    | Reload of reload_times  (** section 5.2 *)
+    | Fig6 of fig6_row list
+    | Fig7 of fig7_result
+    | Before_after of before_after  (** figure 8 *)
+    | Availability of (Strategy.t * float) list  (** section 5.3 *)
+    | Fits of Downtime_model.fits  (** section 5.6 *)
+    | Timeline of (string * (float * float) list) list
+        (** named (time, value) series — the figure 9 cluster model *)
+    | Scalar of { label : string; value : float }
+
+  val kind : t -> string
+  (** Constructor name, for dispatch and the JSON envelope. *)
+
+  val to_json : t -> string
+  (** Compact JSON: [{"kind": ..., "data": ...}]. Hand-rolled, no
+      external dependencies. *)
+
+  val csv : t -> string list * string list list
+  (** [(header, rows)] for the generic CSV exporter. *)
+
+  val merge : t list -> t
+  (** Combine the shard results of one experiment (concatenating row
+      lists, in the given order). Raises [Invalid_argument] on an empty
+      list or on structurally incompatible results. *)
+end
+
+(** {1 The experiment registry}
+
+    Every entry point above is also registered as a {!Spec.t} under a
+    stable id — ["fig4"], ["fig5"], ["fig6"], ["quick_reload"],
+    ["os_rejuvenation"], ["availability"], ["fig7"], ["fig8_file"],
+    ["fig8_web"], ["section_5_6_fits"], ["fig9"] — so the CLI, the
+    bench harness and the sweep runner can enumerate and run them
+    uniformly. *)
+
+module Spec : sig
+  type params = {
+    seed : int;  (** engine seed; all runs are deterministic given it *)
+    workload : Scenario.workload;  (** used by fig6 *)
+    strategy : Strategy.t;  (** used by fig7 / fig8_* *)
+    vm_counts : int list option;
+        (** [None] = the experiment's paper-default sweep *)
+    mem_gib : int list option;  (** [None] = paper default (fig4) *)
+  }
+
+  val default_params : params
+
+  val params_key : params -> string
+  (** Canonical one-line rendering, used in cache keys: equal params
+      always produce equal strings. *)
+
+  type t = {
+    id : string;
+    doc : string;
+    shards : params -> (string * params) list;
+        (** Independent, embarrassingly parallel units of this
+            experiment — one per swept point — each with a unique key
+            whose lexicographic order is the merge order. Single-run
+            experiments return one shard keyed by [id]. *)
+    run : params -> Result.t;
+        (** Execute one shard. Self-contained: builds its own engine
+            and RNG from [params.seed]; safe to call from any domain. *)
+  }
+
+  val register : t -> unit
+  (** Raises [Invalid_argument] on duplicate ids. *)
+
+  val find : string -> t option
+  val find_exn : string -> t
+
+  val all : unit -> t list
+  (** All registered specs, sorted by id. *)
+
+  val ids : unit -> string list
+end
+
+(** {1 Parallel sweeps} *)
+
+val calibration_hash : Calibration.t -> string
+(** Digest of a calibration's timing constants — part of every cache
+    key, so recalibrating the simulated testbed invalidates cached
+    results. *)
+
+val sweep_tasks :
+  ?params:Spec.params -> string list -> Result.t Runner.Sweep.task list
+(** Expand experiment ids into their shards as runner tasks, with cache
+    keys derived from (shard key, params, seed, calibration hash). *)
+
+val sweep :
+  ?jobs:int ->
+  ?cache:Runner.Cache.t ->
+  ?verify_isolation:bool ->
+  ?params:Spec.params ->
+  string list ->
+  (string * Result.t) list * Result.t Runner.Sweep.outcome list
+(** Run the named experiments' shards through {!Runner.Sweep.run} —
+    across [jobs] domains, consulting [cache] when given — and merge
+    the shard results back into one {!Result.t} per experiment id (in
+    the order requested). Also returns the raw per-shard outcomes with
+    their wall-clock / simulated-event metrics. The merged results are
+    byte-identical to a sequential run: shard order is fixed by key,
+    never by completion. *)

@@ -1,0 +1,21 @@
+(** Minimal hand-rolled JSON emitter (no external dependencies).
+
+    Just enough to serialize experiment results: values are built as a
+    tree and printed compactly. Floats that are not finite are emitted
+    as [null] (JSON has no NaN/infinity). [Raw] splices a string that
+    is already JSON — e.g. a pre-rendered Chrome trace — verbatim. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+  | Raw of string  (** trusted, already-serialized JSON *)
+
+val to_string : t -> string
+
+val escape : string -> string
+(** The quoted, escaped JSON form of a string (including the quotes). *)

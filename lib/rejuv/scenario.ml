@@ -11,6 +11,17 @@ let workload_name = function
   | Jboss -> "jboss"
   | Web _ -> "web"
 
+let workload_of_string s =
+  match String.lowercase_ascii s with
+  | "ssh" -> Ok Ssh
+  | "jboss" -> Ok Jboss
+  | "web" ->
+    Ok (Web { file_count = 1000; file_bytes = 512 * 1024; warm_cache = true })
+  | _ ->
+    Error
+      (`Msg
+        (Printf.sprintf "unknown workload %S; expected ssh, jboss or web" s))
+
 type vm = {
   vname : string;
   vmem : int;

@@ -13,6 +13,11 @@ type workload =
 
 val workload_name : workload -> string
 
+val workload_of_string : string -> (workload, [> `Msg of string ]) result
+(** Parses ["ssh"], ["jboss"] or ["web"] (the Figure 7 cached-file web
+    workload with its defaults); the error message is CLI-ready, so
+    this doubles as a [Cmdliner.Arg.conv] parser. *)
+
 type vm
 
 val vm_name : vm -> string

@@ -6,8 +6,23 @@ type t =
   | Cold  (** cold-VM reboot: guest shutdown + hardware reset + boot *)
 
 val all : t list
+
 val name : t -> string
+(** Long display name, e.g. ["warm-VM reboot"]. *)
+
+val id : t -> string
+(** Short machine name — ["warm"], ["saved"] or ["cold"] — stable for
+    CSV/JSON output and cache keys; accepted back by {!of_string}. *)
+
 val of_string : string -> t option
+
+val of_string_result : string -> (t, [> `Msg of string ]) result
+(** [of_string] with the rejection message a CLI wants — directly
+    usable as the parser half of a [Cmdliner.Arg.conv]. *)
+
+val of_string_exn : string -> t
+(** @raise Invalid_argument on unknown names. *)
+
 val pp : Format.formatter -> t -> unit
 
 val preserves_memory_images : t -> bool

@@ -1,0 +1,58 @@
+type t = { dir : string }
+
+let rec mkdir_p path =
+  if not (Sys.file_exists path) then begin
+    mkdir_p (Filename.dirname path);
+    try Unix.mkdir path 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
+let create ?dir () =
+  let dir =
+    match dir with
+    | Some d -> d
+    | None -> (
+      match Sys.getenv_opt "ROOTHAMMER_CACHE" with
+      | Some d when d <> "" -> d
+      | _ -> "_cache")
+  in
+  mkdir_p dir;
+  { dir }
+
+let dir t = t.dir
+
+let key ~id ~params ~seed ~calibration =
+  Digest.to_hex
+    (Digest.string
+       (String.concat "\x00" [ id; params; string_of_int seed; calibration ]))
+
+let path t key = Filename.concat t.dir (key ^ ".bin")
+
+let find t k =
+  let p = path t k in
+  match open_in_bin p with
+  | exception Sys_error _ -> None
+  | ic ->
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> Some (really_input_string ic (in_channel_length ic)))
+
+let store t k bytes =
+  let final = path t k in
+  let tmp =
+    Printf.sprintf "%s.%d.%d.tmp" final (Unix.getpid ())
+      (Domain.self () :> int)
+  in
+  let oc = open_out_bin tmp in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc bytes);
+  Sys.rename tmp final
+
+let remove t k = try Sys.remove (path t k) with Sys_error _ -> ()
+
+let clear t =
+  Array.iter
+    (fun f ->
+      if Filename.check_suffix f ".bin" then
+        try Sys.remove (Filename.concat t.dir f) with Sys_error _ -> ())
+    (try Sys.readdir t.dir with Sys_error _ -> [||])

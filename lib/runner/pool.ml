@@ -1,0 +1,116 @@
+(* Work-stealing over index ranges: worker [w] owns the slice
+   [lo, hi) of the task array and pops from the front; an idle worker
+   steals one index at a time from the *back* of a victim's slice.
+   Single-task steals keep locking trivially deadlock-free (at most one
+   range lock is ever held) and are cheap relative to the tasks this
+   pool exists for — whole simulation runs. *)
+
+type range = { mutable lo : int; mutable hi : int; lock : Mutex.t }
+
+let default_jobs () = max 1 (Domain.recommended_domain_count () - 1)
+
+let take_front r =
+  Mutex.lock r.lock;
+  let i =
+    if r.lo < r.hi then begin
+      let i = r.lo in
+      r.lo <- r.lo + 1;
+      Some i
+    end
+    else None
+  in
+  Mutex.unlock r.lock;
+  i
+
+let steal_back r =
+  Mutex.lock r.lock;
+  let i =
+    if r.lo < r.hi then begin
+      r.hi <- r.hi - 1;
+      Some r.hi
+    end
+    else None
+  in
+  Mutex.unlock r.lock;
+  i
+
+let remaining r =
+  Mutex.lock r.lock;
+  let n = r.hi - r.lo in
+  Mutex.unlock r.lock;
+  n
+
+let parallel_map ?jobs f tasks =
+  let n = Array.length tasks in
+  let jobs =
+    match jobs with
+    | Some j -> min (max 1 j) (max 1 n)
+    | None -> max 1 (min (default_jobs ()) n)
+  in
+  if n = 0 then [||]
+  else if jobs = 1 then Array.map f tasks
+  else begin
+    let results = Array.make n None in
+    let ranges =
+      Array.init jobs (fun w ->
+          { lo = w * n / jobs; hi = (w + 1) * n / jobs; lock = Mutex.create () })
+    in
+    (* First failure wins; everyone else drains out at the next check. *)
+    let failed : (exn * Printexc.raw_backtrace) option Atomic.t =
+      Atomic.make None
+    in
+    let run_one i =
+      match f tasks.(i) with
+      | v -> results.(i) <- Some v
+      | exception e ->
+        let bt = Printexc.get_raw_backtrace () in
+        ignore (Atomic.compare_and_set failed None (Some (e, bt)))
+    in
+    let ok () = Atomic.get failed = None in
+    let worker w =
+      let rec own () =
+        if ok () then
+          match take_front ranges.(w) with
+          | Some i ->
+            run_one i;
+            own ()
+          | None -> steal ()
+      and steal () =
+        if ok () then begin
+          (* Victimize the worker with the most remaining work. Ranges
+             only ever shrink, so a scan that finds nothing means the
+             batch is fully claimed and this worker can retire. *)
+          let victim = ref (-1) and best = ref 0 in
+          for v = 0 to jobs - 1 do
+            if v <> w then begin
+              let left = remaining ranges.(v) in
+              if left > !best then begin
+                best := left;
+                victim := v
+              end
+            end
+          done;
+          if !victim >= 0 then begin
+            (match steal_back ranges.(!victim) with
+            | Some i -> run_one i
+            | None -> ());
+            steal ()
+          end
+        end
+      in
+      own ()
+    in
+    let domains =
+      Array.init (jobs - 1) (fun k -> Domain.spawn (fun () -> worker (k + 1)))
+    in
+    worker 0;
+    Array.iter Domain.join domains;
+    match Atomic.get failed with
+    | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+    | None ->
+      Array.map
+        (function
+          | Some v -> v
+          | None -> assert false (* every index claimed exactly once *))
+        results
+  end

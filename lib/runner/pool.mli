@@ -1,0 +1,25 @@
+(** Work-stealing pool over OCaml 5 domains.
+
+    Built for embarrassingly parallel batches of self-contained
+    simulation runs: the input is a fixed array of independent tasks,
+    each worker drains its own contiguous slice from the front and,
+    when empty, steals single tasks from the {e tail} of the busiest
+    neighbour's slice. Results are always delivered in input order —
+    scheduling order never leaks into the output. *)
+
+val default_jobs : unit -> int
+(** A sensible worker count for this machine:
+    [max 1 (Domain.recommended_domain_count () - 1)] (one domain is the
+    caller's own). *)
+
+val parallel_map : ?jobs:int -> ('a -> 'b) -> 'a array -> 'b array
+(** [parallel_map ~jobs f tasks] applies [f] to every element of
+    [tasks] on up to [jobs] domains (the calling domain included) and
+    returns the results with [result.(i) = f tasks.(i)].
+
+    [jobs] defaults to [min (default_jobs ()) (Array.length tasks)];
+    [jobs <= 1] runs sequentially on the calling domain, spawning
+    nothing. [f] must not rely on shared mutable state: each call runs
+    on an arbitrary domain. If any call raises, the first exception
+    (in completion order) is re-raised on the caller's domain after
+    all workers have stopped. *)

@@ -1,0 +1,77 @@
+type 'a task = { key : string; cache_key : string option; run : unit -> 'a }
+
+type metrics = { wall_s : float; sim_events : int; cached : bool }
+
+type 'a outcome = { key : string; value : 'a; metrics : metrics }
+
+type 'a codec = { encode : 'a -> string; decode : string -> 'a }
+
+let marshal_codec () =
+  {
+    encode = (fun v -> Marshal.to_string v []);
+    decode = (fun s -> Marshal.from_string s 0);
+  }
+
+let execute ?cache ~(codec : 'a codec) (t : 'a task) =
+  let t0 = Unix.gettimeofday () in
+  let cached_bytes =
+    match (cache, t.cache_key) with
+    | Some c, Some k -> Cache.find c k
+    | _ -> None
+  in
+  match cached_bytes with
+  | Some bytes ->
+    let value = codec.decode bytes in
+    {
+      key = t.key;
+      value;
+      metrics =
+        { wall_s = Unix.gettimeofday () -. t0; sim_events = 0; cached = true };
+    }
+  | None ->
+    let ev0 = Simkit.Engine.domain_events_processed () in
+    let value = t.run () in
+    let sim_events = Simkit.Engine.domain_events_processed () - ev0 in
+    (match (cache, t.cache_key) with
+    | Some c, Some k -> Cache.store c k (codec.encode value)
+    | _ -> ());
+    {
+      key = t.key;
+      value;
+      metrics =
+        { wall_s = Unix.gettimeofday () -. t0; sim_events; cached = false };
+    }
+
+let run ?jobs ?cache ?codec ?(verify_isolation = false)
+    (tasks : 'a task list) =
+  let codec = match codec with Some c -> c | None -> marshal_codec () in
+  let tasks =
+    List.sort (fun (a : 'a task) b -> String.compare a.key b.key) tasks
+    |> Array.of_list
+  in
+  let outcomes = Pool.parallel_map ?jobs (execute ?cache ~codec) tasks in
+  if verify_isolation then begin
+    (* Replay the first freshly computed task on this domain; a
+       deterministic run can only differ if some mutable state was
+       shared across domains during the parallel pass. *)
+    let check i =
+      let replay = codec.encode (tasks.(i).run ()) in
+      let parallel = codec.encode outcomes.(i).value in
+      if not (String.equal replay parallel) then
+        failwith
+          (Printf.sprintf
+             "Sweep.run: task %S is not reproducible — parallel and \
+              sequential results differ (shared mutable state leaked \
+              between domains?)"
+             tasks.(i).key)
+    in
+    let rec first_fresh i =
+      if i < Array.length outcomes then
+        if outcomes.(i).metrics.cached then first_fresh (i + 1) else check i
+    in
+    first_fresh 0
+  end;
+  Array.to_list outcomes
+
+let total_wall_s outcomes =
+  List.fold_left (fun acc o -> acc +. o.metrics.wall_s) 0.0 outcomes

@@ -1,0 +1,56 @@
+(** Parallel sweep runner: execute a batch of independent, deterministic
+    simulation runs across domains, with per-run metrics, an optional
+    on-disk cache, and a result order fixed by task key — never by
+    completion order.
+
+    Tasks must be self-contained: each [run] thunk builds its own
+    engine and RNG from its seed and shares no mutable state with any
+    other task (the experiment registry's runs are constructed this
+    way). [run ~verify_isolation:true] re-executes one task after the
+    parallel pass and asserts the bytes match — a cheap leak detector
+    for accidentally shared state. *)
+
+type 'a task = {
+  key : string;
+      (** Unique sort/merge key, e.g. ["fig4/mem=07"]. Results are
+          returned in ascending key order. *)
+  cache_key : string option;
+      (** Full cache identity from {!Cache.key}; [None] disables
+          caching for this task even when a cache is supplied. *)
+  run : unit -> 'a;
+}
+
+type metrics = {
+  wall_s : float;  (** real time spent producing this result *)
+  sim_events : int;
+      (** simulator callbacks executed for this run; [0] on cache hits *)
+  cached : bool;
+}
+
+type 'a outcome = { key : string; value : 'a; metrics : metrics }
+
+type 'a codec = { encode : 'a -> string; decode : string -> 'a }
+(** Byte serialization used for the cache and for isolation checks. *)
+
+val marshal_codec : unit -> 'a codec
+(** [Marshal]-based codec — fine for plain-data results (no closures,
+    no custom blocks). *)
+
+val run :
+  ?jobs:int ->
+  ?cache:Cache.t ->
+  ?codec:'a codec ->
+  ?verify_isolation:bool ->
+  'a task list ->
+  'a outcome list
+(** Execute every task, [jobs] at a time ({!Pool.parallel_map}
+    semantics; [jobs] defaults to {!Pool.default_jobs}). Outcomes are
+    sorted by [key]. With [cache], tasks whose [cache_key] hits are not
+    run at all; fresh results are stored back. [codec] defaults to
+    {!marshal_codec}. [verify_isolation] (default [false]) re-runs the
+    first non-cached task sequentially afterwards and raises [Failure]
+    if its bytes differ from the parallel result. *)
+
+val total_wall_s : 'a outcome list -> float
+(** Sum of per-run wall clocks — the sequential-equivalent cost, to
+    compare against the batch's elapsed time. *)

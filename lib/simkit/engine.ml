@@ -33,6 +33,14 @@ let pending t = Heap.length t.queue
 
 let events_processed t = t.processed
 
+(* Cumulative event count of every engine stepped on the current domain.
+   Each domain owns its counter, so parallel sweep runners can attribute
+   simulated work to a task by reading the delta around it without any
+   cross-domain synchronization. *)
+let domain_events = Domain.DLS.new_key (fun () -> ref 0)
+
+let domain_events_processed () = !(Domain.DLS.get domain_events)
+
 let rec step t =
   match Heap.pop t.queue with
   | None -> false
@@ -41,6 +49,7 @@ let rec step t =
     else begin
       t.clock <- time;
       t.processed <- t.processed + 1;
+      incr (Domain.DLS.get domain_events);
       h.action ();
       true
     end

@@ -40,6 +40,12 @@ val pending : t -> int
 val events_processed : t -> int
 (** Number of callbacks executed so far. *)
 
+val domain_events_processed : unit -> int
+(** Cumulative number of callbacks executed by {e every} engine stepped
+    on the calling domain. Monotonic and domain-local: a parallel runner
+    executing one simulation per domain can read the delta around a run
+    to charge simulated-event counts to it. *)
+
 val step : t -> bool
 (** Execute the next event. [false] when the queue is empty. *)
 

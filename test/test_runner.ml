@@ -1,0 +1,287 @@
+(* The parallel sweep runner: work-stealing pool semantics, key-ordered
+   deterministic merges, the on-disk result cache, and the guarantee
+   that every registered experiment serializes through Result.to_json. *)
+open Helpers
+module Experiment = Rejuv.Experiment
+module Result = Rejuv.Experiment.Result
+module Spec = Rejuv.Experiment.Spec
+module Pool = Runner.Pool
+module Sweep = Runner.Sweep
+module Cache = Runner.Cache
+
+(* --- Pool ----------------------------------------------------------------- *)
+
+let test_pool_order_and_domains () =
+  (* 40 short tasks on 4 workers: results must come back in input
+     order, and the work must actually have spread over >= 2 domains
+     (jobs > 1 spawns workers even on a single-core host). *)
+  let tasks = Array.init 40 Fun.id in
+  let results =
+    Pool.parallel_map ~jobs:4
+      (fun i ->
+        Unix.sleepf 0.002;
+        (i * i, (Domain.self () :> int)))
+      tasks
+  in
+  Array.iteri
+    (fun i (sq, _) -> check_int (Printf.sprintf "result %d in place" i) (i * i) sq)
+    results;
+  let domains =
+    Array.fold_left
+      (fun acc (_, d) -> if List.mem d acc then acc else d :: acc)
+      [] results
+  in
+  check_true "used at least 2 domains" (List.length domains >= 2)
+
+let test_pool_jobs1_inline () =
+  let self = (Domain.self () :> int) in
+  let results =
+    Pool.parallel_map ~jobs:1 (fun _ -> (Domain.self () :> int)) [| 0; 1; 2 |]
+  in
+  Array.iter (check_int "ran on the calling domain" self) results
+
+let test_pool_exception_propagates () =
+  let raised =
+    try
+      ignore
+        (Pool.parallel_map ~jobs:3
+           (fun i -> if i = 17 then failwith "task 17 exploded" else i)
+           (Array.init 32 Fun.id));
+      false
+    with Failure msg -> String.equal msg "task 17 exploded"
+  in
+  check_true "worker exception re-raised on the caller" raised
+
+(* --- Sweep ---------------------------------------------------------------- *)
+
+let test_sweep_key_order () =
+  (* Tasks handed over unsorted, with the lexicographically-last key
+     finishing first: outcomes must still come back in key order. *)
+  let task key delay =
+    { Sweep.key; cache_key = None; run = (fun () -> Unix.sleepf delay; key) }
+  in
+  let outcomes =
+    Sweep.run ~jobs:3
+      [ task "c" 0.0; task "a" 0.02; task "b" 0.01 ]
+  in
+  let keys = List.map (fun (o : _ Sweep.outcome) -> o.key) outcomes in
+  Alcotest.(check (list string)) "ascending key order" [ "a"; "b"; "c" ] keys;
+  List.iter
+    (fun (o : _ Sweep.outcome) ->
+      check_true "value matches key" (String.equal o.key o.value);
+      check_true "wall clock measured" (o.metrics.wall_s >= 0.0);
+      check_false "nothing cached" o.metrics.cached)
+    outcomes
+
+let cheap_params =
+  { Spec.default_params with vm_counts = Some [ 1; 2 ]; mem_gib = Some [ 1; 2 ] }
+
+let merged_bytes ~jobs ids =
+  let merged, _ = Experiment.sweep ~jobs ~params:cheap_params ids in
+  Marshal.to_string (List.map snd merged) []
+
+let test_sweep_parallel_equals_sequential () =
+  (* The acceptance bar: fig4 and fig6 shards fanned across 4 domains
+     must merge to bytes identical to the jobs=1 path. *)
+  let seq = merged_bytes ~jobs:1 [ "fig4"; "fig6" ] in
+  let par = merged_bytes ~jobs:4 [ "fig4"; "fig6" ] in
+  check_true "parallel merge byte-identical to sequential" (String.equal seq par)
+
+let test_sweep_isolation_check_passes () =
+  let _, outcomes =
+    Experiment.sweep ~jobs:2 ~verify_isolation:true ~params:cheap_params
+      [ "fig4" ]
+  in
+  check_int "one outcome per shard" 2 (List.length outcomes);
+  List.iter
+    (fun (o : _ Sweep.outcome) ->
+      check_true "simulated events attributed" (o.metrics.sim_events > 0))
+    outcomes
+
+(* --- Cache ---------------------------------------------------------------- *)
+
+let with_temp_cache f =
+  let dir =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "roothammer-test-%d" (Unix.getpid ()))
+  in
+  let cache = Cache.create ~dir () in
+  Fun.protect
+    ~finally:(fun () ->
+      Cache.clear cache;
+      try Unix.rmdir dir with Unix.Unix_error _ -> ())
+    (fun () -> f cache)
+
+let test_cache_hit_skips_run () =
+  with_temp_cache (fun cache ->
+      let runs = Atomic.make 0 in
+      let task =
+        {
+          Sweep.key = "t";
+          cache_key = Some (Cache.key ~id:"t" ~params:"p" ~seed:42 ~calibration:"c");
+          run =
+            (fun () ->
+              Atomic.incr runs;
+              [ 1.5; 2.5 ]);
+        }
+      in
+      let first = Sweep.run ~jobs:1 ~cache [ task ] in
+      let second = Sweep.run ~jobs:1 ~cache [ task ] in
+      check_int "ran exactly once" 1 (Atomic.get runs);
+      match (first, second) with
+      | [ f ], [ s ] ->
+        check_false "first pass computed" f.Sweep.metrics.cached;
+        check_true "second pass served from cache" s.Sweep.metrics.cached;
+        check_int "cache hit costs no sim events" 0 s.Sweep.metrics.sim_events;
+        check_true "identical value" (f.Sweep.value = s.Sweep.value)
+      | _ -> Alcotest.fail "expected one outcome per pass")
+
+let test_cache_key_identity () =
+  let k ~seed ~calibration =
+    Cache.key ~id:"fig4/mem=01" ~params:"p" ~seed ~calibration
+  in
+  check_true "stable for equal identity"
+    (String.equal (k ~seed:42 ~calibration:"c") (k ~seed:42 ~calibration:"c"));
+  check_false "seed changes the key"
+    (String.equal (k ~seed:42 ~calibration:"c") (k ~seed:43 ~calibration:"c"));
+  check_false "calibration changes the key"
+    (String.equal (k ~seed:42 ~calibration:"c") (k ~seed:42 ~calibration:"d"))
+
+(* --- Result.to_json ------------------------------------------------------- *)
+
+(* A strict little JSON reader — enough to reject anything malformed
+   without pulling in a parsing dependency. *)
+let json_valid s =
+  let n = String.length s in
+  let pos = ref 0 in
+  let peek () = if !pos < n then s.[!pos] else raise Exit in
+  let advance () = incr pos in
+  let skip_ws () =
+    while
+      !pos < n
+      && match s.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false
+    do
+      incr pos
+    done
+  in
+  let expect c = if peek () = c then advance () else raise Exit in
+  let literal w = String.iter expect w in
+  let digits () =
+    if not (match peek () with '0' .. '9' -> true | _ -> false) then raise Exit;
+    while !pos < n && match s.[!pos] with '0' .. '9' -> true | _ -> false do
+      incr pos
+    done
+  in
+  let string_lit () =
+    expect '"';
+    let rec go () =
+      match peek () with
+      | '"' -> advance ()
+      | '\\' ->
+        advance ();
+        advance ();
+        go ()
+      | _ ->
+        advance ();
+        go ()
+    in
+    go ()
+  in
+  let rec value () =
+    skip_ws ();
+    match peek () with
+    | '{' ->
+      advance ();
+      skip_ws ();
+      if peek () = '}' then advance ()
+      else
+        let rec members () =
+          skip_ws ();
+          string_lit ();
+          skip_ws ();
+          expect ':';
+          value ();
+          skip_ws ();
+          if peek () = ',' then (advance (); members ()) else expect '}'
+        in
+        members ()
+    | '[' ->
+      advance ();
+      skip_ws ();
+      if peek () = ']' then advance ()
+      else
+        let rec elems () =
+          value ();
+          skip_ws ();
+          if peek () = ',' then (advance (); elems ()) else expect ']'
+        in
+        elems ()
+    | '"' -> string_lit ()
+    | 't' -> literal "true"
+    | 'f' -> literal "false"
+    | 'n' -> literal "null"
+    | _ ->
+      if peek () = '-' then advance ();
+      digits ();
+      if !pos < n && s.[!pos] = '.' then (advance (); digits ());
+      if !pos < n && (s.[!pos] = 'e' || s.[!pos] = 'E') then begin
+        advance ();
+        if !pos < n && (s.[!pos] = '+' || s.[!pos] = '-') then advance ();
+        digits ()
+      end
+  in
+  try
+    value ();
+    skip_ws ();
+    !pos = n
+  with Exit -> false
+
+let test_json_validator_sanity () =
+  check_true "object" (json_valid {|{"a":[1,-2.5e3,null,true],"b":"x\"y"}|});
+  check_false "trailing garbage" (json_valid {|{"a":1} junk|});
+  check_false "bare word" (json_valid "nonsense");
+  check_false "unterminated" (json_valid {|{"a":|})
+
+let test_every_experiment_round_trips_json () =
+  (* Run every registered spec end-to-end (cheap sweep points where the
+     experiment is parameterized) and check its merged Result renders
+     as well-formed JSON with the right envelope. *)
+  List.iter
+    (fun id ->
+      let merged, _ = Experiment.sweep ~jobs:1 ~params:cheap_params [ id ] in
+      match merged with
+      | [ (id', result) ] ->
+        check_true "id preserved" (String.equal id id');
+        let json = Result.to_json result in
+        check_true (id ^ ": valid JSON") (json_valid json);
+        let prefix = Printf.sprintf {|{"kind":"%s"|} (Result.kind result) in
+        check_true (id ^ ": kind envelope")
+          (String.length json >= String.length prefix
+          && String.equal (String.sub json 0 (String.length prefix)) prefix)
+      | _ -> Alcotest.failf "%s: expected one merged result" id)
+    (Spec.ids ())
+
+let suite =
+  ( "runner",
+    [
+      Alcotest.test_case "pool: input order, >=2 domains" `Quick
+        test_pool_order_and_domains;
+      Alcotest.test_case "pool: jobs=1 runs inline" `Quick
+        test_pool_jobs1_inline;
+      Alcotest.test_case "pool: exception propagates" `Quick
+        test_pool_exception_propagates;
+      Alcotest.test_case "sweep: outcomes in key order" `Quick
+        test_sweep_key_order;
+      Alcotest.test_case "sweep: parallel = sequential bytes" `Slow
+        test_sweep_parallel_equals_sequential;
+      Alcotest.test_case "sweep: isolation check and metrics" `Quick
+        test_sweep_isolation_check_passes;
+      Alcotest.test_case "cache: hit skips the run" `Quick
+        test_cache_hit_skips_run;
+      Alcotest.test_case "cache: key identity" `Quick test_cache_key_identity;
+      Alcotest.test_case "json validator sanity" `Quick
+        test_json_validator_sanity;
+      Alcotest.test_case "every experiment -> valid JSON" `Slow
+        test_every_experiment_round_trips_json;
+    ] )

@@ -107,7 +107,7 @@ let resize t ~capacity_bytes =
 
 let invalidate_file t ~file =
   let doomed =
-    Hashtbl.fold
+    Hashtbl.fold (* simlint: allow D003 doubly-linked-list unlinks commute *)
       (fun k node acc -> if k.file = file then node :: acc else acc)
       t.index []
   in

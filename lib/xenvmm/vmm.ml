@@ -138,7 +138,7 @@ let set_leak_per_domain_destroy t ~bytes = t.leak_per_destroy <- bytes
 let set_xenstore_leak_per_txn t ~bytes = t.xenstore_leak_per_txn <- bytes
 
 let dom0 t =
-  Hashtbl.fold
+  Hashtbl.fold (* simlint: allow D003 at most one Dom0 exists per host *)
     (fun _ d acc -> if Domain.kind d = Domain.Dom0 then Some d else acc)
     t.domains None
 
@@ -148,10 +148,13 @@ let domus t =
   |> List.sort (fun a b -> compare (Domain.id a) (Domain.id b))
 
 let find_domain t ~name =
+  (* Collect-and-sort rather than first-match-in-hash-order, so a
+     (buggy) duplicate name still resolves deterministically. *)
   Hashtbl.fold
-    (fun _ d acc ->
-      if String.equal (Domain.name d) name then Some d else acc)
-    t.domains None
+    (fun _ d acc -> if String.equal (Domain.name d) name then d :: acc else acc)
+    t.domains []
+  |> List.sort (fun a b -> compare (Domain.id a) (Domain.id b))
+  |> function [] -> None | d :: _ -> Some d
 
 let memory t = t.hw.Hw.Host.memory
 let frames t = Hw.Memory.frames (memory t)
@@ -306,7 +309,9 @@ let boot_dom0 t k =
              ~leak_per_transaction_bytes:t.xenstore_leak_per_txn ());
       (* The toolstack re-registers every live domain in the fresh
          store. *)
-      Hashtbl.iter (fun _ dom -> store_domain_entry t dom) t.domains;
+      Hashtbl.iter (* simlint: allow D003 the store is keyed by path; registration order is invisible *)
+        (fun _ dom -> store_domain_entry t dom)
+        t.domains;
       Simkit.Trace.end_span (trace t) span;
       k ())
 
@@ -366,7 +371,7 @@ let shutdown_vmm t k =
 (* Domains that are not safely frozen when the VMM goes down are lost.
    [Saved_to_disk] survives on stable storage. *)
 let crash_unpreserved t ~preserve_suspended =
-  Hashtbl.iter
+  Hashtbl.iter (* simlint: allow D003 independent per-domain state writes commute *)
     (fun _ d ->
       match Domain.state d with
       | Domain.Suspended when preserve_suspended -> ()
@@ -374,6 +379,9 @@ let crash_unpreserved t ~preserve_suspended =
       | Domain.Halted | Domain.Crashed -> ()
       | _ -> Domain.set_state d Domain.Crashed)
     t.domains;
+  (* Sorted by id: the per-domain teardown below emits observer-visible
+     [Domain_destroyed] events, so its order must not depend on the
+     hash layout of [t.domains]. *)
   let doomed =
     Hashtbl.fold
       (fun id d acc ->
@@ -381,6 +389,7 @@ let crash_unpreserved t ~preserve_suspended =
         | Domain.Crashed | Domain.Halted -> (id, d) :: acc
         | _ -> acc)
       t.domains []
+    |> List.sort (fun (a, _) (b, _) -> compare a b)
   in
   List.iter
     (fun (id, d) ->
@@ -413,9 +422,13 @@ and quick_reload_staged t image_extents k =
     (* Anything still running (e.g. a driver domain that cannot be
        suspended) does not survive the reload. *)
     crash_unpreserved t ~preserve_suspended:true;
+    (* Sorted by id: the re-adoption loop below lays the preserved
+       regions back into the fresh memory view, and frame bookkeeping
+       must not depend on hash order. *)
     let preserved =
       Hashtbl.fold (fun _ d acc -> d :: acc) t.domains []
       |> List.filter (fun d -> Domain.state d = Domain.Suspended)
+      |> List.sort (fun a b -> compare (Domain.id a) (Domain.id b))
     in
     (* The new VMM instance starts from a blank view of machine memory
        and re-adopts the preserved regions: the staged executable image

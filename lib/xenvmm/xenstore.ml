@@ -47,7 +47,7 @@ let read t ~path =
 let rm t ~path =
   transaction t;
   let doomed =
-    Hashtbl.fold
+    Hashtbl.fold (* simlint: allow D003 removing a key set commutes *)
       (fun k _ acc -> if is_prefix ~prefix:path k then k :: acc else acc)
       t.store []
   in
@@ -57,22 +57,20 @@ let rm t ~path =
 let directory t ~path =
   transaction t;
   let prefix = if path = "" || path = "/" then "/" else path ^ "/" in
-  let children =
-    Hashtbl.fold
-      (fun k _ acc ->
-        if is_prefix ~prefix k then begin
-          let rest =
-            String.sub k (String.length prefix)
-              (String.length k - String.length prefix)
-          in
-          match String.index_opt rest '/' with
-          | Some i -> String.sub rest 0 i :: acc
-          | None -> rest :: acc
-        end
-        else acc)
-      t.store []
-  in
-  List.sort_uniq String.compare children
+  Hashtbl.fold
+    (fun k _ acc ->
+      if is_prefix ~prefix k then begin
+        let rest =
+          String.sub k (String.length prefix)
+            (String.length k - String.length prefix)
+        in
+        match String.index_opt rest '/' with
+        | Some i -> String.sub rest 0 i :: acc
+        | None -> rest :: acc
+      end
+      else acc)
+    t.store []
+  |> List.sort_uniq String.compare
 
 let watch t ~path f = t.watches <- (path, f) :: t.watches
 

@@ -1,0 +1,3 @@
+(* Malformed suppressions are themselves findings (D000). *)
+let a tbl = Hashtbl.iter f tbl (* simlint: allow D042 no such rule *)
+let b tbl = Hashtbl.iter f tbl (* simlint: allow D003 *)

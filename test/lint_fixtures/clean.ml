@@ -1,0 +1,12 @@
+(* A file the linter must accept untouched: engine-clock time, seeded
+   RNG, sorted traversals, closed-data marshalling, named handlers. *)
+let now engine = Simkit.Engine.now engine
+let draw rng = Simkit.Rng.float rng 1.0
+
+let by_key tbl =
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let count tbl = Hashtbl.fold (fun _ _ acc -> acc + 1) tbl 0
+let snapshot v = Marshal.to_string v []
+let safe_div a b = try a / b with Division_by_zero -> 0

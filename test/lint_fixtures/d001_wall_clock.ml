@@ -1,0 +1,3 @@
+(* D001 fixture: wall-clock read in simulation code. *)
+let start_of_run () = Unix.gettimeofday ()
+let cpu_budget () = Sys.time ()

@@ -1,0 +1,3 @@
+(* D002 fixture: ambient randomness instead of Simkit.Rng. *)
+let seed_somehow () = Random.self_init ()
+let jitter () = Random.float 1.0

@@ -1,0 +1,9 @@
+(* D003 fixture: hash-order traversals whose result escapes. *)
+let keys tbl = Hashtbl.fold (fun k _ acc -> k :: acc) tbl []
+let dump tbl = Hashtbl.iter (fun k v -> record k v) tbl
+
+(* Sorted-keys idiom and commutative accumulation: both clean. *)
+let sorted_keys tbl =
+  Hashtbl.fold (fun k _ acc -> k :: acc) tbl [] |> List.sort compare
+
+let total tbl = Hashtbl.fold (fun _ v acc -> acc + v) tbl 0

@@ -1,0 +1,4 @@
+(* D004 fixture: raw multicore primitives outside the runner. *)
+let fork f = Stdlib.Domain.spawn f
+let worker f = Domain.spawn f
+let counter = Domain.DLS.new_key (fun () -> ref 0)

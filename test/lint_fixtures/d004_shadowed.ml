@@ -1,0 +1,7 @@
+(* D004 path-awareness fixture: here [Domain] is the VM-domain module
+   (as in lib/rejuv and lib/guest), so bare Domain.* is NOT the stdlib
+   and must not be flagged — but an explicit Stdlib.Domain must be. *)
+module Domain = Xenvmm.Domain
+
+let ok d = Domain.spawn d
+let still_bad f = Stdlib.Domain.spawn f

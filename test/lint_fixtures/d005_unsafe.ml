@@ -1,0 +1,6 @@
+(* D005 fixture: unsafe casts and closure-admitting marshalling. *)
+let cast x = Obj.magic x
+let persist v = Marshal.to_string v [ Marshal.Closures ]
+
+(* Closed-data marshalling is clean. *)
+let snapshot v = Marshal.to_string v []

@@ -1,0 +1,3 @@
+(* D006 fixture: direct stdout output (linted as if under lib/). *)
+let report x = Printf.printf "x = %d\n" x
+let note () = print_endline "done"

@@ -1,0 +1,5 @@
+(* A violation waived by a well-formed same-line suppression. *)
+let singleton tbl =
+  Hashtbl.fold (* simlint: allow D003 table holds at most one entry *)
+    (fun _ v acc -> Some v)
+    tbl None

@@ -1,0 +1,154 @@
+(* The simlint static checker: every rule fires on its known-bad
+   fixture at the right location, clean code and well-formed
+   suppressions pass, malformed suppressions are themselves findings,
+   the repository lints clean, and the dynamic property the rules
+   exist to protect holds — same seed, byte-identical results. *)
+open Helpers
+module Lint = Simlint.Lint
+module Spec = Rejuv.Experiment.Spec
+module Result = Rejuv.Experiment.Result
+
+let fixture name = Filename.concat "lint_fixtures" name
+
+(* (rule, line, col) triples, order-normalized. *)
+let summarize findings =
+  List.map (fun (f : Lint.finding) -> (f.rule, f.line, f.col)) findings
+
+let check_findings msg expected actual =
+  Alcotest.(check (list (triple string int int))) msg expected
+    (summarize actual)
+
+let test_d001 () =
+  check_findings "wall-clock flagged"
+    [ ("D001", 2, 22); ("D001", 3, 20) ]
+    (Lint.lint_file (fixture "d001_wall_clock.ml"))
+
+let test_d001_allowlisted_dir () =
+  (* The same file linted as if under lib/runner/ is allowlisted. *)
+  check_findings "lib/runner may read the clock" []
+    (Lint.lint_file ~as_path:"lib/runner/fixture.ml"
+       (fixture "d001_wall_clock.ml"))
+
+let test_d002 () =
+  check_findings "ambient randomness flagged"
+    [ ("D002", 2, 22); ("D002", 3, 16) ]
+    (Lint.lint_file (fixture "d002_random.ml"))
+
+let test_d003 () =
+  (* Only the escaping fold and the iter fire; the sorted-keys idiom
+     and the commutative count in the same file stay clean. *)
+  check_findings "hash-order traversals flagged"
+    [ ("D003", 2, 15); ("D003", 3, 15) ]
+    (Lint.lint_file (fixture "d003_hashtbl.ml"))
+
+let test_d004 () =
+  check_findings "raw Domain primitives flagged"
+    [ ("D004", 2, 13); ("D004", 3, 15); ("D004", 4, 14) ]
+    (Lint.lint_file (fixture "d004_domain.ml"))
+
+let test_d004_path_aware () =
+  (* With [module Domain = Xenvmm.Domain] in scope, bare Domain.* is
+     the VM-domain module: only the explicit Stdlib.Domain fires. *)
+  check_findings "shadowed Domain not flagged"
+    [ ("D004", 7, 18) ]
+    (Lint.lint_file (fixture "d004_shadowed.ml"))
+
+let test_d005 () =
+  check_findings "Obj.magic and Marshal.Closures flagged"
+    [ ("D005", 2, 13); ("D005", 3, 16) ]
+    (Lint.lint_file (fixture "d005_unsafe.ml"))
+
+let test_d006 () =
+  check_findings "stdout printing flagged under lib/"
+    [ ("D006", 2, 15); ("D006", 3, 14) ]
+    (Lint.lint_file ~as_path:"lib/guest/fixture.ml" (fixture "d006_print.ml"));
+  (* The rule is scoped to lib/: the same file elsewhere is fine. *)
+  check_findings "printing outside lib/ not flagged" []
+    (Lint.lint_file (fixture "d006_print.ml"))
+
+let test_d007 () =
+  check_findings "wildcard handler flagged"
+    [ ("D007", 2, 30) ]
+    (Lint.lint_file (fixture "d007_swallow.ml"))
+
+let test_clean () =
+  check_findings "clean file passes" [] (Lint.lint_file (fixture "clean.ml"))
+
+let test_suppression () =
+  check_findings "well-formed suppression waives the finding" []
+    (Lint.lint_file (fixture "suppressed.ml"))
+
+let test_bad_suppression () =
+  (* A malformed suppression is a D000 finding AND does not waive the
+     violation it sits on. *)
+  check_findings "malformed suppressions are findings"
+    [ ("D003", 2, 12); ("D000", 2, 34); ("D003", 3, 12); ("D000", 3, 34) ]
+    (Lint.lint_file (fixture "bad_suppression.ml"))
+
+(* --- the repository itself ---------------------------------------------- *)
+
+(* Tests run under _build/default/test; the checked-out tree is
+   everything above the _build component. *)
+let repo_root () =
+  let rec strip acc = function
+    | [] -> None
+    | "_build" :: _ -> Some (String.concat Filename.dir_sep (List.rev acc))
+    | part :: rest -> strip (part :: acc) rest
+  in
+  strip [] (String.split_on_char '/' (Sys.getcwd ()))
+
+let test_repo_lints_clean () =
+  match repo_root () with
+  | None -> Alcotest.skip ()
+  | Some root ->
+    let dirs =
+      List.map (Filename.concat root) [ "lib"; "bin"; "bench"; "test" ]
+    in
+    let findings = Lint.lint_paths (List.filter Sys.file_exists dirs) in
+    if findings <> [] then
+      Alcotest.failf "repo has %d lint finding(s), first: %s"
+        (List.length findings)
+        (Lint.pp_finding (List.hd findings))
+
+(* --- dynamic counterparts of the static rules ---------------------------- *)
+
+let test_registry_listing_stable () =
+  let ids = Spec.ids () in
+  check_true "registry listing is sorted"
+    (List.sort String.compare ids = ids);
+  check_true "registry has experiments" (List.length ids >= 10)
+
+let test_same_seed_byte_identical () =
+  (* The property D001-D004 exist to protect: re-running a registered
+     experiment with the same seed must reproduce the result down to
+     the last byte of its JSON rendering. *)
+  let spec = Spec.find_exn "fig4" in
+  let params =
+    { Spec.default_params with seed = 1234; mem_gib = Some [ 1; 2 ] }
+  in
+  let j1 = Result.to_json (spec.Spec.run params) in
+  let j2 = Result.to_json (spec.Spec.run params) in
+  check_true "json non-trivial" (String.length j1 > 2);
+  check_true "same seed, byte-identical JSON" (String.equal j1 j2)
+
+let suite =
+  ( "simlint",
+    [
+      Alcotest.test_case "D001 wall clock" `Quick test_d001;
+      Alcotest.test_case "D001 allowlisted dir" `Quick test_d001_allowlisted_dir;
+      Alcotest.test_case "D002 ambient randomness" `Quick test_d002;
+      Alcotest.test_case "D003 hash-order traversal" `Quick test_d003;
+      Alcotest.test_case "D004 raw domains" `Quick test_d004;
+      Alcotest.test_case "D004 path-aware shadowing" `Quick test_d004_path_aware;
+      Alcotest.test_case "D005 unsafe casts" `Quick test_d005;
+      Alcotest.test_case "D006 stdout in lib" `Quick test_d006;
+      Alcotest.test_case "D007 swallowed exceptions" `Quick test_d007;
+      Alcotest.test_case "clean fixture passes" `Quick test_clean;
+      Alcotest.test_case "suppression honored" `Quick test_suppression;
+      Alcotest.test_case "bad suppression reported" `Quick test_bad_suppression;
+      Alcotest.test_case "repo lints clean" `Quick test_repo_lints_clean;
+      Alcotest.test_case "registry listing stable" `Quick
+        test_registry_listing_stable;
+      Alcotest.test_case "same seed -> byte-identical result" `Quick
+        test_same_seed_byte_identical;
+    ] )

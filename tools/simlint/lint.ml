@@ -1,0 +1,152 @@
+(* Driver: parse a file, run the rules, then subtract inline
+   suppressions and the directory allowlist.
+
+   A suppression is a comment on the offending line:
+
+     (* simlint: allow D003 removal order commutes *)
+
+   The rule id must exist and the reason must be non-empty; a
+   malformed suppression is itself reported (rule id D000) so stale or
+   typo'd waivers cannot silently disable the checker. *)
+
+type finding = Rules.finding = {
+  file : string;
+  line : int;
+  col : int;
+  rule : string;
+  message : string;
+}
+
+let pp_finding f =
+  Printf.sprintf "%s:%d:%d: %s %s" f.file f.line f.col f.rule f.message
+
+let finding_to_jsonx (f : finding) =
+  Rejuv.Jsonx.(
+    Obj
+      [
+        ("file", Str f.file);
+        ("line", Int f.line);
+        ("col", Int f.col);
+        ("rule", Str f.rule);
+        ("message", Str f.message);
+      ])
+
+let to_json findings =
+  Rejuv.Jsonx.(
+    to_string
+      (Obj
+         [
+           ("count", Int (List.length findings));
+           ("findings", Arr (List.map finding_to_jsonx findings));
+         ]))
+
+(* --- suppression comments ----------------------------------------------- *)
+
+type suppression = { on_line : int; srule : string }
+
+let marker = "simlint:"
+
+let find_sub s sub from =
+  let n = String.length s and m = String.length sub in
+  let rec at i =
+    if i + m > n then None
+    else if String.sub s i m = sub then Some i
+    else at (i + 1)
+  in
+  at from
+
+(* Returns the suppressions of one line plus any D000 findings for
+   malformed ones. *)
+let parse_suppression ~file ~lnum line =
+  match find_sub line marker 0 with
+  | None -> ([], [])
+  | Some i ->
+    let bad message = ([], [ { file; line = lnum; col = i; rule = "D000"; message } ]) in
+    let rest = String.sub line (i + String.length marker) (String.length line - i - String.length marker) in
+    let rest =
+      match find_sub rest "*)" 0 with
+      | Some j -> String.sub rest 0 j
+      | None -> rest
+    in
+    (match String.split_on_char ' ' (String.trim rest) |> List.filter (( <> ) "") with
+    | "allow" :: rule :: reason when String.length rule = 4 && rule.[0] = 'D' ->
+      if not (Rules.known_rule rule) then
+        bad (Printf.sprintf "suppression names unknown rule %s" rule)
+      else if reason = [] then
+        bad (Printf.sprintf "suppression of %s needs a reason" rule)
+      else ([ { on_line = lnum; srule = rule } ], [])
+    | _ -> bad "malformed simlint comment: expected `simlint: allow D00x <reason>`")
+
+let scan_suppressions ~file source =
+  let supps = ref [] and errs = ref [] in
+  List.iteri
+    (fun i line ->
+      let s, e = parse_suppression ~file ~lnum:(i + 1) line in
+      supps := s @ !supps;
+      errs := e @ !errs)
+    (String.split_on_char '\n' source);
+  (!supps, List.rev !errs)
+
+(* --- per-file entry point ------------------------------------------------ *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+exception Parse_error of string
+
+let parse ~name source =
+  let lexbuf = Lexing.from_string source in
+  Location.init lexbuf name;
+  try Parse.implementation lexbuf
+  with exn ->
+    let msg =
+      match Location.error_of_exn exn with
+      | Some (`Ok e) -> Format.asprintf "%a" Location.print_report e
+      | _ -> Printexc.to_string exn
+    in
+    raise (Parse_error (Printf.sprintf "%s: cannot parse: %s" name msg))
+
+(* [as_path] lets callers lint a fixture as if it lived elsewhere in
+   the tree, since several rules are directory-scoped (the fixture for
+   D006 must pretend to be under lib/). *)
+let lint_file ?as_path path =
+  let name = Option.value as_path ~default:path in
+  let source = read_file path in
+  let structure = parse ~name source in
+  let raw = Rules.check ~path:name structure in
+  let supps, supp_errs = scan_suppressions ~file:name source in
+  let suppressed f =
+    List.exists (fun s -> s.on_line = f.line && s.srule = f.rule) supps
+  in
+  let kept =
+    List.filter
+      (fun (f : finding) ->
+        (not (suppressed f)) && not (Allow.allowed ~rule:f.rule ~path:name))
+      raw
+  in
+  List.sort
+    (fun a b -> compare (a.line, a.col, a.rule) (b.line, b.col, b.rule))
+    (kept @ supp_errs)
+
+(* --- tree walk ----------------------------------------------------------- *)
+
+(* Deliberately-bad lint fixtures live under test/lint_fixtures/ and
+   are linted one by one from the test suite, never as part of the
+   tree scan. *)
+let skip_dirs = [ "lint_fixtures"; "_build"; ".git" ]
+
+let rec collect acc path =
+  if Sys.is_directory path then
+    if List.mem (Filename.basename path) skip_dirs then acc
+    else
+      Sys.readdir path |> Array.to_list |> List.sort String.compare
+      |> List.fold_left (fun acc f -> collect acc (Filename.concat path f)) acc
+  else if Filename.check_suffix path ".ml" then path :: acc
+  else acc
+
+let lint_paths paths =
+  let files = List.rev (List.fold_left collect [] paths) in
+  List.concat_map lint_file files

@@ -1,0 +1,44 @@
+(* simlint — determinism & simulation-hygiene checks for the tree.
+
+   Usage: simlint [--json] [--list-rules] [PATH ...]
+
+   With no paths, lints lib/ bin/ bench/ test/ relative to the current
+   directory (what the root `dune build @lint` rule does). Exit code 0
+   when clean, 1 with findings, 2 on usage or parse errors. *)
+
+let default_paths = [ "lib"; "bin"; "bench"; "test" ]
+
+let () =
+  let json = ref false and list_rules = ref false and paths = ref [] in
+  let spec =
+    [
+      ("--json", Arg.Set json, " emit findings as JSON");
+      ("--list-rules", Arg.Set list_rules, " print the rule catalogue");
+    ]
+  in
+  let usage = "simlint [--json] [--list-rules] [PATH ...]" in
+  Arg.parse spec (fun p -> paths := p :: !paths) usage;
+  if !list_rules then begin
+    List.iter
+      (fun (id, title) -> Printf.printf "%s %s\n" id title)
+      Simlint.Rules.catalogue;
+    exit 0
+  end;
+  let paths = match List.rev !paths with [] -> default_paths | ps -> ps in
+  let missing = List.filter (fun p -> not (Sys.file_exists p)) paths in
+  if missing <> [] then begin
+    Printf.eprintf "simlint: no such path: %s\n" (String.concat ", " missing);
+    exit 2
+  end;
+  match Simlint.Lint.lint_paths paths with
+  | exception Simlint.Lint.Parse_error msg ->
+    Printf.eprintf "simlint: %s\n" msg;
+    exit 2
+  | [] ->
+    if !json then print_string (Simlint.Lint.to_json []);
+    exit 0
+  | findings ->
+    if !json then print_string (Simlint.Lint.to_json findings)
+    else List.iter (fun f -> print_endline (Simlint.Lint.pp_finding f)) findings;
+    Printf.eprintf "simlint: %d finding(s)\n" (List.length findings);
+    exit 1

@@ -5,7 +5,7 @@
 
    Usage: main.exe [-j N] [tag ...] where tag is one of
    fig4 fig5 reload fig6a fig6b avail fig7 fig8a fig8b fits policy fig9
-   migration ablation sweep micro. No tags = everything. The swept
+   migration ablation faults sweep micro. No tags = everything. The swept
    figures (fig4/fig5/fig6) run their points through the parallel sweep
    runner on N domains (default: the machine's). *)
 
@@ -26,7 +26,9 @@ let sweep_result ?(workload = Rejuv.Scenario.Ssh) id =
   pf "(%d runs, %d domain(s), %.2f s of run wall-clock)@."
     (List.length outcomes) !jobs
     (Runner.Sweep.total_wall_s outcomes);
-  List.assoc id merged
+  match List.assoc id merged with
+  | Ok r -> r
+  | Error f -> Simkit.Fault.fail f
 
 (* --- Figure 4 / Figure 5 ------------------------------------------------- *)
 
@@ -398,6 +400,26 @@ let sensitivity () =
   pf "warm reboot still wins everywhere — and on big-memory hosts the@.";
   pf "full-scrub cost it skips grows with installed RAM.@."
 
+(* --- The fault-injection campaign ------------------------------------------ *)
+
+let faults () =
+  header "Fault matrix: recovery per strategy x injection site";
+  pf "each site armed to fire on its first call during the reboot;@.";
+  pf "policy: 1 retry, fallback allowed, abandon failed domains@.";
+  match sweep_result "fault_matrix" with
+  | Rejuv.Experiment.Result.Fault_matrix cells ->
+    pf "%-8s %-20s %5s %9s %-9s %7s %5s %8s@." "strategy" "site" "fired"
+      "recovered" "completed" "retries" "lost" "extra-s";
+    List.iter
+      (fun (c : Rejuv.Fault_matrix.cell) ->
+        pf "%-8s %-20s %5d %9b %-9s %7d %5d %8.1f@."
+          (Rejuv.Strategy.id c.fm_strategy)
+          c.fm_site c.injected c.recovered
+          (Rejuv.Strategy.id c.completed)
+          c.retries c.domains_lost c.extra_downtime_s)
+      cells
+  | _ -> assert false
+
 (* --- The parallel sweep runner itself -------------------------------------- *)
 
 let sweep () =
@@ -535,7 +557,8 @@ let sections =
     ("fig6b", fig6b); ("avail", avail); ("fig7", fig7); ("fig8a", fig8a);
     ("fig8b", fig8b); ("fits", fits); ("policy", policy); ("fig9", fig9);
     ("migration", migration); ("ablation", ablation); ("cluster", cluster);
-    ("sensitivity", sensitivity); ("sweep", sweep); ("micro", micro);
+    ("sensitivity", sensitivity); ("faults", faults); ("sweep", sweep);
+    ("micro", micro);
   ]
 
 let () =

@@ -87,6 +87,18 @@ let print_result id = function
     pf "# %s@." id;
     print_timeline series
   | Result.Scalar { label; value } -> pf "# %s@.%s = %.2f@." id label value
+  | Result.Fault_matrix cells ->
+    pf "# %s@." id;
+    pf "%-8s %-20s %5s %9s %-9s %7s %5s %8s@." "strategy" "site" "fired"
+      "recovered" "completed" "retries" "lost" "extra-s";
+    List.iter
+      (fun (c : Rejuv.Fault_matrix.cell) ->
+        pf "%-8s %-20s %5d %9b %-9s %7d %5d %8.1f@."
+          (Rejuv.Strategy.id c.fm_strategy)
+          c.fm_site c.injected c.recovered
+          (Rejuv.Strategy.id c.completed)
+          c.retries c.domains_lost c.extra_downtime_s)
+      cells
 
 (* --- figure commands -------------------------------------------------------- *)
 
@@ -248,21 +260,53 @@ let fig9_cmd =
   cmd "fig9" ~doc:"Cluster throughput model"
     Term.(const run $ verbose_arg $ Cli_args.csv_arg $ Cli_args.json_arg)
 
+(* --- running by registry id -------------------------------------------------- *)
+
+let experiment_conv =
+  let parse s =
+    match Spec.find s with
+    | Some _ -> Ok s
+    | None ->
+      Error
+        (`Msg
+          (Printf.sprintf "unknown experiment %s (known: %s)" s
+             (String.concat ", " (Spec.ids ()))))
+  in
+  Arg.conv (parse, Format.pp_print_string)
+
+let run_cmd =
+  let id_arg =
+    Arg.(
+      required
+      & pos 0 (some experiment_conv) None
+      & info [] ~docv:"EXPERIMENT"
+          ~doc:
+            "A registered experiment id (`roothammer list` shows all of \
+             them)")
+  in
+  let smoke_arg =
+    Arg.(
+      value & flag
+      & info [ "smoke" ]
+          ~doc:
+            "Shrink the run for CI: fault_matrix runs a single cell \
+             (warm x xend.resume) instead of the full grid")
+  in
+  let run verbose id smoke strategy workload csv json =
+    setup_logs verbose;
+    let params = { Spec.default_params with smoke; strategy; workload } in
+    let r = run_spec id params in
+    print_result id r;
+    Cli_args.export ~csv ~json [ (id, r) ]
+  in
+  cmd "run" ~doc:"Run any registered experiment by id"
+    Term.(
+      const run $ verbose_arg $ id_arg $ smoke_arg $ Cli_args.strategy_arg
+      $ Cli_args.workload_arg $ Cli_args.csv_arg $ Cli_args.json_arg)
+
 (* --- the parallel sweep ----------------------------------------------------- *)
 
 let sweep_cmd =
-  let experiment_conv =
-    let parse s =
-      match Spec.find s with
-      | Some _ -> Ok s
-      | None ->
-        Error
-          (`Msg
-            (Printf.sprintf "unknown experiment %s (known: %s)" s
-               (String.concat ", " (Spec.ids ()))))
-    in
-    Arg.conv (parse, Format.pp_print_string)
-  in
   let ids_arg =
     Arg.(
       value
@@ -332,9 +376,20 @@ let sweep_cmd =
       pf "run wall-clock %.3f s in %.3f s elapsed (parallel speedup %.2fx)@."
         work elapsed
         (if elapsed > 0.0 then work /. elapsed else 1.0);
+    let ok, faulted =
+      List.partition_map
+        (fun (id, r) ->
+          match r with Ok v -> Left (id, v) | Error f -> Right (id, f))
+        merged
+    in
+    List.iter
+      (fun (id, f) ->
+        pf "# %s FAULTED: %s@." id (Simkit.Fault.to_string f))
+      faulted;
     if not quiet_results then
-      List.iter (fun (id, r) -> print_result id r) merged;
-    Cli_args.export ~csv ~json merged
+      List.iter (fun (id, r) -> print_result id r) ok;
+    Cli_args.export ~csv ~json ok;
+    if faulted <> [] then exit 1
   in
   cmd "sweep"
     ~doc:
@@ -477,6 +532,6 @@ let () =
        (Cmd.group ~default info
           [
             fig4_cmd; fig5_cmd; reload_cmd; fig6_cmd; fig7_cmd; fig8_cmd;
-            fits_cmd; avail_cmd; fig9_cmd; sweep_cmd; list_cmd; migrate_cmd;
-            schedule_cmd; cluster_cmd; report_cmd;
+            fits_cmd; avail_cmd; fig9_cmd; run_cmd; sweep_cmd; list_cmd;
+            migrate_cmd; schedule_cmd; cluster_cmd; report_cmd;
           ]))

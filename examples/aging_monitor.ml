@@ -83,11 +83,17 @@ let () =
         free_kib;
       incr rejuvenations;
       Rejuv.Roothammer.rejuvenate scenario ~strategy:Rejuv.Strategy.Warm
-        (fun () ->
-          pf "t=%6.0f s  rejuvenated: generation %d, heap free %d KiB@."
-            (Simkit.Engine.now engine)
-            (Xenvmm.Vmm.generation vmm)
-            (Xenvmm.Vmm_heap.free_bytes (Xenvmm.Vmm.heap vmm) / 1024)));
+        (fun outcome ->
+          match outcome.Rejuv.Recovery.fatal with
+          | Some f ->
+            pf "t=%6.0f s  rejuvenation FAILED: %s@."
+              (Simkit.Engine.now engine)
+              (Simkit.Fault.to_string f)
+          | None ->
+            pf "t=%6.0f s  rejuvenated: generation %d, heap free %d KiB@."
+              (Simkit.Engine.now engine)
+              (Xenvmm.Vmm.generation vmm)
+              (Xenvmm.Vmm_heap.free_bytes (Xenvmm.Vmm.heap vmm) / 1024)));
     ignore (Simkit.Engine.schedule engine ~delay:600.0 monitor)
   in
   monitor ();

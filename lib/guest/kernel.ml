@@ -63,7 +63,9 @@ let establish_io_rings t =
           (match Xenvmm.Grant_table.map g r ~by:(Domain.id dom0) with
           | Ok () -> ()
           | Error e ->
-            failwith (Xenvmm.Grant_table.error_message e));
+            Simkit.Fault.fail
+              (Simkit.Fault.Invariant
+                 (Xenvmm.Grant_table.error_message e)));
           r)
   | Some _ | None -> ()
 

@@ -9,6 +9,7 @@ type t = {
   mutable used : int;
   mutable total_read : int;
   mutable total_written : int;
+  mutable fault_plan : Simkit.Fault.Plan.t option;
 }
 
 let mib = 1048576.0
@@ -30,9 +31,17 @@ let create engine ?(name = "disk0") ~read_mib_per_s ~write_mib_per_s ~seek_ms
     used = 0;
     total_read = 0;
     total_written = 0;
+    fault_plan = None;
   }
 
 let name t = t.disk_name
+
+let set_fault_plan t plan = t.fault_plan <- plan
+
+let injected t ~site =
+  match t.fault_plan with
+  | None -> false
+  | Some plan -> Simkit.Fault.Plan.fires plan ~site
 
 let transfer_work t ~bytes ~rate ~random ~ops =
   (* A transfer loses sequentiality either because the access pattern is
@@ -73,7 +82,8 @@ let space_free_bytes t = t.capacity - t.used
 
 let allocate_space t ~bytes =
   if bytes < 0 then invalid_arg "Disk.allocate_space: negative size";
-  if bytes > space_free_bytes t then Error `Disk_full
+  if injected t ~site:"disk.write" then Error `Disk_full
+  else if bytes > space_free_bytes t then Error `Disk_full
   else begin
     t.used <- t.used + bytes;
     Ok ()

@@ -26,6 +26,11 @@ val create :
 
 val name : t -> string
 
+val set_fault_plan : t -> Simkit.Fault.Plan.t option -> unit
+(** Attach (or detach) the scenario's fault-injection plan. When the
+    plan's ["disk.write"] site fires, {!allocate_space} reports
+    [`Disk_full] even though physical space remains. *)
+
 val read :
   t -> bytes:int -> ?random:bool -> ?ops:int -> (unit -> unit) -> unit
 (** Read [bytes]; the continuation fires when the transfer completes.

@@ -44,7 +44,8 @@ let start t =
     (fun node -> Scenario.start node (fun () -> incr up))
     t.members;
   while !up < host_count t && Simkit.Engine.step t.eng do () done;
-  if !up < host_count t then failwith "Cluster_sim.start: boot incomplete"
+  if !up < host_count t then
+    Simkit.Fault.fail (Simkit.Fault.Stalled "Cluster_sim.start")
 
 let offer_load t ~rate_per_s =
   let request k =
@@ -85,14 +86,24 @@ let rolling_rejuvenation t ~strategy ?(gap_s = 20.0) ?(load_rate_per_s = 100.0)
     else begin
       let node = t.members.(i) in
       let down_at = Simkit.Engine.now t.eng in
-      Roothammer.rejuvenate node ~strategy (fun () ->
+      Roothammer.rejuvenate node ~strategy (fun outcome ->
+          (* A fatal per-host outcome must not wedge the rolling wave:
+             record the host as lost (its probers keep reporting it
+             down) and move on to the next one. *)
+          (match outcome.Recovery.fatal with
+          | Some f ->
+            Simkit.Trace.instant (Scenario.trace node)
+              (Printf.sprintf "host %d not recovered: %s" (i + 1)
+                 (Simkit.Fault.to_string f))
+          | None -> ());
           outages.(i) <- Simkit.Engine.now t.eng -. down_at;
           Simkit.Process.delay t.eng gap_s (fun () -> go (i + 1)))
     end
   in
   go 0;
   while (not !finished) && Simkit.Engine.step t.eng do () done;
-  if not !finished then failwith "Cluster_sim: rolling reboot incomplete";
+  if not !finished then
+    Simkit.Fault.fail (Simkit.Fault.Stalled "Cluster_sim.rolling_rejuvenation");
   (* Let stragglers (probes, in-flight requests) settle briefly. *)
   Simkit.Engine.run ~until:(Simkit.Engine.now t.eng +. 5.0) t.eng;
   Netsim.Poisson.stop load;

@@ -1,11 +1,28 @@
 module Vmm = Xenvmm.Vmm
 
-let execute scenario k =
+let execute ?(policy = Recovery.default) scenario k =
   let vmm = Scenario.vmm scenario in
   let cal = Scenario.calibration scenario in
   let engine = Scenario.engine scenario in
   let tr = Scenario.trace scenario in
+  let run = Recovery.start ~policy Strategy.Cold in
+  let finish () = k (Recovery.finish run) in
   Simkit.Trace.instant tr "reboot command (cold)";
+  (* The cold path rebuilds every VM anyway, so the only faults it can
+     see are provisioning failures after the reset: retried per the
+     policy, then the VM is lost outright (there is nothing heavier to
+     fall back to). *)
+  let provision_one v k =
+    Recovery.with_retries run ~step:"reprovision"
+      (fun k -> Scenario.provision_vm scenario v k)
+      (function
+        | `Ok -> k ()
+        | `Gave_up f ->
+          if policy.Recovery.abandon_failed_domains then
+            Recovery.abandon run (Scenario.vm_name v)
+          else Recovery.set_fatal run f;
+          k ())
+  in
   Simkit.Process.delay engine cal.Calibration.xend_stop_delay_s (fun () ->
       let pre = Simkit.Trace.begin_span tr "pre-reboot tasks" in
       (* Orderly shutdown of every guest OS, in parallel. *)
@@ -31,9 +48,8 @@ let execute scenario k =
                                 Simkit.Trace.begin_span tr "post-reboot tasks"
                               in
                               Simkit.Process.par
-                                (List.map
-                                   (fun v -> Scenario.provision_vm scenario v)
+                                (List.map provision_one
                                    (Scenario.vms scenario))
                                 (fun () ->
                                   Simkit.Trace.end_span tr post;
-                                  k ()))))))))
+                                  finish ()))))))))

@@ -5,6 +5,11 @@
     the VMM boots scrubbing all memory, dom0 boots, fresh domains are
     built and every guest OS boots and restarts its services. Page
     caches come back empty — the post-reboot degradation of Figures 7
-    and 8. *)
+    and 8.
 
-val execute : Scenario.t -> Simkit.Process.task
+    Fault handling per the {!Recovery.policy}: a provisioning failure
+    after the reset is retried, then the VM is lost outright. *)
+
+val execute :
+  ?policy:Recovery.policy -> Scenario.t -> (Recovery.outcome -> unit) -> unit
+(** [policy] defaults to {!Recovery.default}. *)

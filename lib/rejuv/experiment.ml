@@ -11,11 +11,14 @@ type reboot_run = {
   spans : (string * float * float) list;
 }
 
-let strategy_task strategy scenario =
-  match strategy with
-  | Strategy.Warm -> Warm_reboot.execute scenario
-  | Strategy.Saved -> Saved_reboot.execute scenario
-  | Strategy.Cold -> Cold_reboot.execute scenario
+(* Paper-reproduction experiments run with nothing armed on the fault
+   plan, so a fault here is a genuine failure: surface it as a raised
+   [Fault.Error] for the sweep runner to capture. *)
+let strategy_task strategy scenario k =
+  Roothammer.rejuvenate scenario ~strategy (fun outcome ->
+      match outcome.Recovery.fatal with
+      | Some f -> Simkit.Fault.fail f
+      | None -> k ())
 
 let span_duration spans label =
   List.fold_left
@@ -36,14 +39,15 @@ let run_until_done engine ~flag ~deadline =
     ()
   done;
   if not !flag then
-    failwith
-      (Printf.sprintf "experiment did not complete by t=%.1f" deadline)
+    Simkit.Fault.fail
+      (Simkit.Fault.Timeout { what = "experiment"; deadline_s = deadline })
 
 let boot_testbed scenario =
   let started = ref false in
   Scenario.start scenario (fun () -> started := true);
   Simkit.Engine.run (Scenario.engine scenario);
-  if not !started then failwith "testbed failed to start"
+  if not !started then
+    Simkit.Fault.fail (Simkit.Fault.Stalled "Experiment testbed start")
 
 let run_reboot ?calibration ?(workload = Scenario.Ssh) ?seed
     ?(settle_s = 20.0) ?(horizon_s = 1200.0) ~strategy ~vm_count
@@ -68,7 +72,7 @@ let run_reboot ?calibration ?(workload = Scenario.Ssh) ?seed
   List.iter
     (fun v ->
       if not (Scenario.vm_is_up v) then
-        failwith (Scenario.vm_name v ^ " did not come back"))
+        Simkit.Fault.fail (Simkit.Fault.Not_recovered (Scenario.vm_name v)))
     (Scenario.vms scenario);
   let downtimes =
     List.map
@@ -164,13 +168,14 @@ let measure_vmm_reboot ~quick =
       if quick then
         Xenvmm.Vmm.quick_reload vmm (function
           | Ok () -> reboot_done := Simkit.Engine.now engine
-          | Error e -> failwith (Xenvmm.Vmm.error_message e))
+          | Error e -> Simkit.Fault.fail e)
       else
         Xenvmm.Vmm.shutdown_vmm vmm (fun () ->
             Xenvmm.Vmm.hardware_reset vmm (fun () ->
                 reboot_done := Simkit.Engine.now engine)));
   Simkit.Engine.run engine;
-  if Float.is_nan !reboot_done then failwith "VMM reboot did not complete";
+  if Float.is_nan !reboot_done then
+    Simkit.Fault.fail (Simkit.Fault.Stalled "VMM reboot");
   !reboot_done -. !start
 
 let quick_reload_effect () =
@@ -393,7 +398,7 @@ let fig8_file ~strategy () =
                         mib /. Float.max (t2 -. t1) 1e-9 )))));
   Simkit.Engine.run engine;
   match !result with
-  | None -> failwith "fig8_file did not complete"
+  | None -> Simkit.Fault.fail (Simkit.Fault.Stalled "fig8_file")
   | Some (first_before, second_before, first_after, second_after) ->
     {
       first_before;
@@ -445,7 +450,9 @@ let fig8_web ~strategy () =
   let rate tag =
     match List.find_opt (fun (l, _, _) -> l = tag) !marks with
     | Some (_, lo, hi) -> Netsim.Httperf.throughput_between load ~lo ~hi
-    | None -> failwith "fig8_web window missing"
+    | None ->
+      Simkit.Fault.fail
+        (Simkit.Fault.Invariant ("fig8_web window " ^ tag ^ " missing"))
   in
   let first_before = rate "b1"
   and second_before = rate "b2"
@@ -520,6 +527,7 @@ module Result = struct
     | Fits of Downtime_model.fits
     | Timeline of (string * (float * float) list) list
     | Scalar of { label : string; value : float }
+    | Fault_matrix of Fault_matrix.cell list
 
   let kind = function
     | Task_times _ -> "task_times"
@@ -531,6 +539,7 @@ module Result = struct
     | Fits _ -> "fits"
     | Timeline _ -> "timeline"
     | Scalar _ -> "scalar"
+    | Fault_matrix _ -> "fault_matrix"
 
   let jf f = Jsonx.Float f
 
@@ -555,6 +564,21 @@ module Result = struct
 
   let json_span (l, a, b) =
     Jsonx.Obj [ ("label", Jsonx.Str l); ("start_s", jf a); ("stop_s", jf b) ]
+
+  let json_fault_cell (c : Fault_matrix.cell) =
+    Jsonx.Obj
+      [
+        ("strategy", Jsonx.Str (Strategy.id c.Fault_matrix.fm_strategy));
+        ("site", Jsonx.Str c.Fault_matrix.fm_site);
+        ("injected", Jsonx.Int c.Fault_matrix.injected);
+        ("recovered", Jsonx.Bool c.Fault_matrix.recovered);
+        ("completed", Jsonx.Str (Strategy.id c.Fault_matrix.completed));
+        ("retries", Jsonx.Int c.Fault_matrix.retries);
+        ("domains_lost", Jsonx.Int c.Fault_matrix.domains_lost);
+        ("baseline_downtime_s", jf c.Fault_matrix.baseline_downtime_s);
+        ("downtime_s", jf c.Fault_matrix.downtime_s);
+        ("extra_downtime_s", jf c.Fault_matrix.extra_downtime_s);
+      ]
 
   let to_json_tree t =
     let payload =
@@ -623,6 +647,7 @@ module Result = struct
           (List.map (fun (name, tl) -> (name, json_pairs tl)) series)
       | Scalar { label; value } ->
         Jsonx.Obj [ ("label", Jsonx.Str label); ("value", jf value) ]
+      | Fault_matrix cells -> Jsonx.Arr (List.map json_fault_cell cells)
     in
     Jsonx.Obj [ ("kind", Jsonx.Str (kind t)); ("data", payload) ]
 
@@ -694,6 +719,27 @@ module Result = struct
           series )
     | Scalar { label; value } ->
       ([ "label"; "value" ], [ [ label; fl value ] ])
+    | Fault_matrix cells ->
+      ( [
+          "strategy"; "site"; "injected"; "recovered"; "completed"; "retries";
+          "domains_lost"; "baseline_downtime_s"; "downtime_s";
+          "extra_downtime_s";
+        ],
+        List.map
+          (fun (c : Fault_matrix.cell) ->
+            [
+              Strategy.id c.Fault_matrix.fm_strategy;
+              c.Fault_matrix.fm_site;
+              string_of_int c.Fault_matrix.injected;
+              string_of_bool c.Fault_matrix.recovered;
+              Strategy.id c.Fault_matrix.completed;
+              string_of_int c.Fault_matrix.retries;
+              string_of_int c.Fault_matrix.domains_lost;
+              fl c.Fault_matrix.baseline_downtime_s;
+              fl c.Fault_matrix.downtime_s;
+              fl c.Fault_matrix.extra_downtime_s;
+            ])
+          cells )
 
   (* Shard results of one experiment concatenate; scalar-like results
      only "merge" when the batch produced exactly one of them. *)
@@ -707,6 +753,7 @@ module Result = struct
           | Fig6 a, Fig6 b -> Fig6 (a @ b)
           | Timeline a, Timeline b -> Timeline (a @ b)
           | Availability a, Availability b -> Availability (a @ b)
+          | Fault_matrix a, Fault_matrix b -> Fault_matrix (a @ b)
           | _ ->
             invalid_arg
               (Printf.sprintf "Experiment.Result.merge: cannot merge %s + %s"
@@ -723,6 +770,8 @@ module Spec = struct
     strategy : Strategy.t;
     vm_counts : int list option;
     mem_gib : int list option;
+    site : string option;
+    smoke : bool;
   }
 
   let default_params =
@@ -732,6 +781,8 @@ module Spec = struct
       strategy = Strategy.Warm;
       vm_counts = None;
       mem_gib = None;
+      site = None;
+      smoke = false;
     }
 
   let ints_key = function
@@ -739,10 +790,13 @@ module Spec = struct
     | Some xs -> String.concat "," (List.map string_of_int xs)
 
   let params_key p =
-    Printf.sprintf "seed=%d;workload=%s;strategy=%s;vm_counts=%s;mem_gib=%s"
+    Printf.sprintf
+      "seed=%d;workload=%s;strategy=%s;vm_counts=%s;mem_gib=%s;site=%s;smoke=%b"
       p.seed
       (Scenario.workload_name p.workload)
       (Strategy.id p.strategy) (ints_key p.vm_counts) (ints_key p.mem_gib)
+      (Option.value p.site ~default:"none")
+      p.smoke
 
   type nonrec t = {
     id : string;
@@ -878,6 +932,41 @@ let () =
                  ("cold", Cluster.cold_timeline p ~reboot_at:600.0);
                  ("migration", Cluster.migration_timeline p ~migrate_at:600.0);
                ]));
+      {
+        Spec.id = "fault_matrix";
+        doc =
+          "Recovery success per strategy x injection site (fault campaign)";
+        (* One shard per cell; [site] pins a shard to its cell, so the
+           shard keys (strategy id then site, both already in stable
+           string order) merge back into grid order. [smoke] shrinks
+           the grid to one cell for CI. *)
+        shards =
+          (fun p ->
+            match p.Spec.site with
+            | Some _ -> [ ("fault_matrix", p) ]
+            | None ->
+              let cells =
+                if p.Spec.smoke then Fault_matrix.smoke_grid
+                else Fault_matrix.grid
+              in
+              List.map
+                (fun (s, site) ->
+                  ( Printf.sprintf "fault_matrix/s=%s/site=%s" (Strategy.id s)
+                      site,
+                    { p with Spec.strategy = s; site = Some site } ))
+                cells);
+        run =
+          (fun p ->
+            let cells =
+              match p.Spec.site with
+              | Some site -> [ (p.Spec.strategy, site) ]
+              | None ->
+                if p.Spec.smoke then Fault_matrix.smoke_grid
+                else Fault_matrix.grid
+            in
+            Result.Fault_matrix
+              (Fault_matrix.run ~seed:p.Spec.seed ~cells ()));
+      };
     ]
 
 (* --- Parallel sweeps ------------------------------------------------------ *)
@@ -919,7 +1008,26 @@ let sweep ?jobs ?cache ?verify_isolation ?(params = Spec.default_params) ids =
               || String.starts_with ~prefix:(id ^ "/") o.key)
             outcomes
         in
-        (id, Result.merge (List.map (fun o -> o.Runner.Sweep.value) mine)))
+        (* A faulted shard poisons its experiment (first fault in key
+           order wins); the other experiments still merge normally. *)
+        let faults =
+          List.filter_map
+            (fun (o : Result.t Runner.Sweep.outcome) ->
+              match o.Runner.Sweep.value with
+              | Error f -> Some f
+              | Ok _ -> None)
+            mine
+        in
+        match faults with
+        | f :: _ -> (id, Error f)
+        | [] ->
+          ( id,
+            Ok
+              (Result.merge
+                 (List.filter_map
+                    (fun (o : Result.t Runner.Sweep.outcome) ->
+                      Stdlib.Result.to_option o.Runner.Sweep.value)
+                    mine)) ))
       ids
   in
   (merged, outcomes)

@@ -29,8 +29,9 @@ val run_reboot :
   unit ->
   reboot_run
 (** Boot the testbed, attach probers, run one VMM rejuvenation with the
-    given strategy, and measure. Raises [Failure] if any VM fails to
-    come back before the horizon. *)
+    given strategy, and measure. Raises [Simkit.Fault.Error] if any VM
+    fails to come back before the horizon ([Not_recovered]) or the run
+    misses its deadline ([Timeout]). *)
 
 (** {1 Figure 4/5: pre- and post-reboot task times} *)
 
@@ -144,6 +145,8 @@ module Result : sig
     | Timeline of (string * (float * float) list) list
         (** named (time, value) series — the figure 9 cluster model *)
     | Scalar of { label : string; value : float }
+    | Fault_matrix of Fault_matrix.cell list
+        (** the fault-injection campaign *)
 
   val kind : t -> string
   (** Constructor name, for dispatch and the JSON envelope. *)
@@ -166,18 +169,22 @@ end
     Every entry point above is also registered as a {!Spec.t} under a
     stable id — ["fig4"], ["fig5"], ["fig6"], ["quick_reload"],
     ["os_rejuvenation"], ["availability"], ["fig7"], ["fig8_file"],
-    ["fig8_web"], ["section_5_6_fits"], ["fig9"] — so the CLI, the
-    bench harness and the sweep runner can enumerate and run them
-    uniformly. *)
+    ["fig8_web"], ["section_5_6_fits"], ["fig9"], ["fault_matrix"] —
+    so the CLI, the bench harness and the sweep runner can enumerate
+    and run them uniformly. *)
 
 module Spec : sig
   type params = {
     seed : int;  (** engine seed; all runs are deterministic given it *)
     workload : Scenario.workload;  (** used by fig6 *)
-    strategy : Strategy.t;  (** used by fig7 / fig8_* *)
+    strategy : Strategy.t;  (** used by fig7 / fig8_* / fault_matrix *)
     vm_counts : int list option;
         (** [None] = the experiment's paper-default sweep *)
     mem_gib : int list option;  (** [None] = paper default (fig4) *)
+    site : string option;
+        (** pins [fault_matrix] to one injection site; [None] = grid *)
+    smoke : bool;
+        (** shrink [fault_matrix] to a single cell (CI smoke runs) *)
   }
 
   val default_params : params
@@ -229,11 +236,14 @@ val sweep :
   ?verify_isolation:bool ->
   ?params:Spec.params ->
   string list ->
-  (string * Result.t) list * Result.t Runner.Sweep.outcome list
+  (string * (Result.t, Simkit.Fault.t) result) list
+  * Result.t Runner.Sweep.outcome list
 (** Run the named experiments' shards through {!Runner.Sweep.run} —
     across [jobs] domains, consulting [cache] when given — and merge
-    the shard results back into one {!Result.t} per experiment id (in
-    the order requested). Also returns the raw per-shard outcomes with
-    their wall-clock / simulated-event metrics. The merged results are
-    byte-identical to a sequential run: shard order is fixed by key,
-    never by completion. *)
+    the shard results back into one value per experiment id (in the
+    order requested). An experiment whose shard faulted merges to
+    [Error] (the first fault in key order) instead of aborting the
+    whole sweep; the other experiments still report [Ok]. Also returns
+    the raw per-shard outcomes with their wall-clock / simulated-event
+    metrics. The merged results are byte-identical to a sequential
+    run: shard order is fixed by key, never by completion. *)

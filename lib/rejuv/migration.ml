@@ -78,7 +78,9 @@ let migrate ?(config = default_config) ~src ~dst ~kernel ~dirty_bytes_per_s k =
   let engine = Vmm.engine src in
   let trace = (Vmm.host src).Hw.Host.trace in
   if Domain.state dom <> Domain.Running then
-    k (Error (`Bad_domain_state (Domain.state dom)))
+    k
+      (Error
+         (Simkit.Fault.Bad_domain_state (Domain.state_name (Domain.state dom))))
   else begin
     let mem_bytes = Domain.mem_bytes dom in
     let span = Simkit.Trace.begin_span trace ("migrate " ^ Domain.name dom) in

@@ -1,10 +1,10 @@
 let version = "1.0.0"
 
-let rejuvenate scenario ~strategy =
+let rejuvenate ?policy scenario ~strategy =
   match strategy with
-  | Strategy.Warm -> Warm_reboot.execute scenario
-  | Strategy.Saved -> Saved_reboot.execute scenario
-  | Strategy.Cold -> Cold_reboot.execute scenario
+  | Strategy.Warm -> Warm_reboot.execute ?policy scenario
+  | Strategy.Saved -> Saved_reboot.execute ?policy scenario
+  | Strategy.Cold -> Cold_reboot.execute ?policy scenario
 
 let start_and_run scenario =
   let engine = Scenario.engine scenario in
@@ -13,19 +13,28 @@ let start_and_run scenario =
   (* Step, don't drain: perpetual processes (aging injectors, probers)
      keep the queue non-empty forever. *)
   while (not !started) && Simkit.Engine.step engine do () done;
-  if not !started then failwith "Roothammer.start_and_run: start incomplete"
+  if not !started then
+    Simkit.Fault.fail (Simkit.Fault.Stalled "Roothammer.start_and_run")
 
-let rejuvenate_blocking scenario ~strategy =
+let rejuvenate_measured ?policy scenario ~strategy =
   let engine = Scenario.engine scenario in
   let t0 = Simkit.Engine.now engine in
-  let finished = ref false in
-  rejuvenate scenario ~strategy (fun () -> finished := true);
+  let result = ref None in
+  rejuvenate ?policy scenario ~strategy (fun o -> result := Some o);
   (* Step rather than drain: perpetual processes (probers, workload
      generators) keep the queue non-empty forever. *)
-  while (not !finished) && Simkit.Engine.step engine do () done;
-  if not !finished then
-    failwith "Roothammer.rejuvenate_blocking: reboot incomplete";
-  Simkit.Engine.now engine -. t0
+  while !result = None && Simkit.Engine.step engine do () done;
+  match !result with
+  | None ->
+    Simkit.Fault.fail (Simkit.Fault.Stalled "Roothammer.rejuvenate_measured")
+  | Some outcome -> (Simkit.Engine.now engine -. t0, outcome)
+
+let rejuvenate_blocking ?policy scenario ~strategy =
+  let duration, outcome = rejuvenate_measured ?policy scenario ~strategy in
+  (match outcome.Recovery.fatal with
+  | Some f -> Simkit.Fault.fail f
+  | None -> ());
+  duration
 
 let settle scenario ~seconds =
   let engine = Scenario.engine scenario in

@@ -17,19 +17,37 @@
 
 val version : string
 
-val rejuvenate : Scenario.t -> strategy:Strategy.t -> Simkit.Process.task
-(** One VMM rejuvenation of a running scenario with the given
-    strategy. *)
+val rejuvenate :
+  ?policy:Recovery.policy ->
+  Scenario.t ->
+  strategy:Strategy.t ->
+  (Recovery.outcome -> unit) ->
+  unit
+(** One VMM rejuvenation of a running scenario with the given strategy.
+    Faults along the way are handled per [policy] (default
+    {!Recovery.default}); the continuation receives the
+    {!Recovery.outcome} describing what happened. *)
 
 val start_and_run : Scenario.t -> unit
 (** Boot the scenario's testbed and drive the engine until it is fully
-    up. Convenience for examples and quick scripts. *)
+    up. Convenience for examples and quick scripts. Raises
+    [Simkit.Fault.Error (Stalled _)] if the queue drains first. *)
 
-val rejuvenate_blocking : Scenario.t -> strategy:Strategy.t -> float
+val rejuvenate_measured :
+  ?policy:Recovery.policy ->
+  Scenario.t ->
+  strategy:Strategy.t ->
+  float * Recovery.outcome
 (** Run one rejuvenation to completion, driving the engine; returns the
-    wall-clock (simulated) duration of the whole procedure. Safe with
-    perpetual background processes (probers, workloads): the engine is
-    stepped, not drained. *)
+    wall-clock (simulated) duration of the whole procedure together
+    with its recovery outcome. Safe with perpetual background processes
+    (probers, workloads): the engine is stepped, not drained. *)
+
+val rejuvenate_blocking :
+  ?policy:Recovery.policy -> Scenario.t -> strategy:Strategy.t -> float
+(** [fst (rejuvenate_measured ...)], raising [Simkit.Fault.Error] when
+    the outcome is fatal — for callers that only want the duration of a
+    reboot that must succeed. *)
 
 val settle : Scenario.t -> seconds:float -> unit
 (** Advance the engine a fixed amount of simulated time — e.g. to let

@@ -1,25 +1,56 @@
 module Vmm = Xenvmm.Vmm
+module Fault = Simkit.Fault
 
-let execute scenario k =
+let execute ?(policy = Recovery.default) scenario k =
   let vmm = Scenario.vmm scenario in
   let cal = Scenario.calibration scenario in
   let engine = Scenario.engine scenario in
   let tr = Scenario.trace scenario in
+  let run = Recovery.start ~policy Strategy.Saved in
+  let finish () = k (Recovery.finish run) in
   Simkit.Trace.instant tr "reboot command (saved)";
+  (* VMs whose save (or restore) is given up on; rebuilt from scratch
+     after the other restores — their memory state is lost. *)
+  let rebuilds = ref [] in
+  let give_up v fault k =
+    if policy.Recovery.abandon_failed_domains then begin
+      Recovery.abandon run (Scenario.vm_name v);
+      rebuilds := v :: !rebuilds
+    end
+    else Recovery.set_fatal run fault;
+    k ()
+  in
   (* dom0 drives the suspends while it is still up (the original Xen
      design the paper contrasts with): all saves run concurrently and
-     contend for the one disk. *)
+     contend for the one disk. A failed save leaves the domain resumed
+     in place, so it can be retried; a domain given up on keeps running
+     until the hardware reset kills it. *)
+  let save_one v k =
+    Recovery.with_retries run ~step:"save"
+      (fun k -> Vmm.save_domain_to_disk vmm (Scenario.vm_domain v) k)
+      (function `Ok -> k () | `Gave_up f -> give_up v f k)
+  in
+  (* Restores run serially through the toolstack (each a sequential
+     read of its image) — or concurrently under the ablation knob,
+     where the interleaved reads contend for the spindle. An injected
+     restore failure leaves the on-disk image intact, so it too can be
+     retried before the domain is rebuilt fresh. *)
+  let restore_one v k =
+    Recovery.with_retries run ~step:"restore"
+      (fun k ->
+        Vmm.restore_domain_from_disk vmm ~name:(Scenario.vm_name v) (function
+          | Ok _ -> k (Ok ())
+          | Error e -> k (Error e)))
+      (function `Ok -> k () | `Gave_up f -> give_up v f k)
+  in
   Simkit.Process.delay engine cal.Calibration.save_dispatch_delay_s (fun () ->
       let pre = Simkit.Trace.begin_span tr "pre-reboot tasks" in
       Simkit.Process.par
-        (List.map
-           (fun v k ->
-             Vmm.save_domain_to_disk vmm (Scenario.vm_domain v) (function
-               | Ok () -> k ()
-               | Error e -> failwith (Vmm.error_message e)))
-           (Scenario.vms scenario))
+        (List.map save_one (Scenario.vms scenario))
         (fun () ->
           Simkit.Trace.end_span tr pre;
+          if run.Recovery.run_fatal <> None then finish ()
+          else
           let reboot = Simkit.Trace.begin_span tr "vmm reboot" in
           Vmm.shutdown_dom0 vmm (fun () ->
               Vmm.shutdown_vmm vmm (fun () ->
@@ -29,24 +60,45 @@ let execute scenario k =
                           let post =
                             Simkit.Trace.begin_span tr "post-reboot tasks"
                           in
-                          (* Restores run serially through the toolstack
-                             (each a sequential read of its image) — or
-                             concurrently under the ablation knob, where
-                             the interleaved reads contend for the
-                             spindle. *)
-                          let restore_one v k =
-                            Vmm.restore_domain_from_disk vmm
-                              ~name:(Scenario.vm_name v) (function
-                              | Ok _ -> k ()
-                              | Error e -> failwith (Vmm.error_message e))
+                          let saved =
+                            List.filter
+                              (fun v -> not (List.memq v !rebuilds))
+                              (Scenario.vms scenario)
                           in
                           let combine =
                             if cal.Calibration.parallel_restore then
                               Simkit.Process.par
                             else Simkit.Process.seq
                           in
-                          combine
-                            (List.map restore_one (Scenario.vms scenario))
-                            (fun () ->
-                              Simkit.Trace.end_span tr post;
-                              k ())))))))
+                          combine (List.map restore_one saved) (fun () ->
+                              if run.Recovery.run_fatal <> None then begin
+                                Simkit.Trace.end_span tr post;
+                                finish ()
+                              end
+                              else
+                                (* Rebuild the given-up VMs from
+                                   scratch: fresh domains, cold
+                                   caches. *)
+                                Simkit.Process.par
+                                  (List.map
+                                     (fun v k ->
+                                       Recovery.with_retries run
+                                         ~step:"reprovision"
+                                         (fun k ->
+                                           Scenario.provision_vm scenario v k)
+                                         (function
+                                           | `Ok -> k ()
+                                           | `Gave_up f ->
+                                             if
+                                               policy
+                                                 .Recovery
+                                                  .abandon_failed_domains
+                                             then
+                                               Recovery.abandon run
+                                                 (Scenario.vm_name v)
+                                             else Recovery.set_fatal run f;
+                                             k ()))
+                                     (List.rev !rebuilds))
+                                  (fun () ->
+                                    Simkit.Trace.end_span tr post;
+                                    finish ()))))))))

@@ -6,6 +6,13 @@
     show growing into hundreds of seconds. The reboot in the middle is a
     normal hardware reset. Services are not restarted (the images
     preserve them), but they are unreachable from the moment their VM
-    starts saving. *)
+    starts saving.
 
-val execute : Scenario.t -> Simkit.Process.task
+    Fault handling per the {!Recovery.policy}: a failed save leaves the
+    domain resumed in place and is retried; a failed restore leaves the
+    on-disk image intact and is retried; a domain given up on is
+    rebuilt from scratch after the other restores (memory state lost). *)
+
+val execute :
+  ?policy:Recovery.policy -> Scenario.t -> (Recovery.outcome -> unit) -> unit
+(** [policy] defaults to {!Recovery.default}. *)

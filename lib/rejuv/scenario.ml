@@ -53,6 +53,8 @@ type t = {
   hypervisor : Vmm.t;
   mutable vm_list : vm list;
   scenario_rng : Simkit.Rng.t;
+  plan : Simkit.Fault.Plan.t;
+  mutable artifact : (Hw.Nic.t * Simkit.Engine.handle) option;
 }
 
 let engine t = t.eng
@@ -62,6 +64,28 @@ let calibration t = t.cal
 let vms t = t.vm_list
 let rng t = t.scenario_rng
 let trace t = t.hw_host.Hw.Host.trace
+let fault_plan t = t.plan
+
+(* --- transient network-degradation artifact ----------------------------- *)
+
+let cancel_network_artifact t =
+  match t.artifact with
+  | None -> ()
+  | Some (nic, handle) ->
+    Simkit.Engine.cancel t.eng handle;
+    Hw.Nic.clear_degradation nic;
+    t.artifact <- None
+
+let arm_network_artifact t nic ~factor ~duration_s =
+  (* At most one artifact at a time; re-arming restarts the window. *)
+  cancel_network_artifact t;
+  Hw.Nic.set_degradation nic ~factor;
+  let handle =
+    Simkit.Engine.schedule t.eng ~delay:duration_s (fun () ->
+        Hw.Nic.clear_degradation nic;
+        t.artifact <- None)
+  in
+  t.artifact <- Some (nic, handle)
 
 (* Build kernel + services for a VM whose domain exists. *)
 let outfit_vm t v =
@@ -90,15 +114,21 @@ let warm_web_caches t =
     t.vm_list
 
 let provision_vm t v k =
-  Vmm.create_domain t.hypervisor ~name:v.vname ~mem_bytes:v.vmem (function
-    | Error e -> failwith (Vmm.error_message e)
-    | Ok domain ->
-      if v.vdriver then Domain.set_suspendable domain false;
-      v.vdomain <- domain;
-      outfit_vm t v;
-      Guest.Kernel.boot v.vkernel k)
+  if v.vdriver && Simkit.Fault.Plan.fires t.plan ~site:"driver.reprovision"
+  then
+    (* The driver VM's devices never come back: xend gives up on the
+       timeout. Nothing was built, so a retry starts from scratch. *)
+    k (Error (Simkit.Fault.Driver_timeout v.vname))
+  else
+    Vmm.create_domain t.hypervisor ~name:v.vname ~mem_bytes:v.vmem (function
+      | Error e -> k (Error e)
+      | Ok domain ->
+        if v.vdriver then Domain.set_suspendable domain false;
+        v.vdomain <- domain;
+        outfit_vm t v;
+        Guest.Kernel.boot v.vkernel (fun () -> k (Ok ())))
 
-let create ?(calibration = Calibration.default) ?(seed = 42) ?engine
+let create ?(calibration = Calibration.default) ?(seed = 42) ?engine ?plan
     ?(name_prefix = "") ?(driver_vm_count = 0) ~vm_count ~vm_mem_bytes
     ~workload () =
   if vm_count < 0 then invalid_arg "Scenario.create: negative vm_count";
@@ -117,6 +147,13 @@ let create ?(calibration = Calibration.default) ?(seed = 42) ?engine
     Vmm.create ~timing:calibration.Calibration.vmm_timing ~scrub_policy
       hw_host
   in
+  let plan =
+    match plan with
+    | Some p -> p
+    | None -> Simkit.Fault.Plan.create ~seed ()
+  in
+  Vmm.set_fault_plan hypervisor (Some plan);
+  Hw.Disk.set_fault_plan hw_host.Hw.Host.disk (Some plan);
   let t =
     {
       cal = calibration;
@@ -125,6 +162,8 @@ let create ?(calibration = Calibration.default) ?(seed = 42) ?engine
       hypervisor;
       vm_list = [];
       scenario_rng = Simkit.Rng.split (Simkit.Engine.rng eng);
+      plan;
+      artifact = None;
     }
   in
   let make_vm ~vname ~vdriver i =
@@ -157,7 +196,15 @@ let create ?(calibration = Calibration.default) ?(seed = 42) ?engine
 
 let start t k =
   Vmm.power_on t.hypervisor (fun () ->
-      Simkit.Process.par (List.map (fun v -> provision_vm t v) t.vm_list)
+      Simkit.Process.par
+        (List.map
+           (fun v k ->
+             provision_vm t v (function
+               (* Initial bring-up has no recovery policy to consult:
+                  a boot-time fault is a broken testbed. *)
+               | Error f -> Simkit.Fault.fail f
+               | Ok () -> k ()))
+           t.vm_list)
         (fun () ->
           warm_web_caches t;
           k ()))

@@ -42,6 +42,7 @@ val create :
   ?calibration:Calibration.t ->
   ?seed:int ->
   ?engine:Simkit.Engine.t ->
+  ?plan:Simkit.Fault.Plan.t ->
   ?name_prefix:string ->
   ?driver_vm_count:int ->
   vm_count:int ->
@@ -53,7 +54,9 @@ val create :
     [driver_vm_count] (default 0) adds that many non-suspendable driver
     domains on top of the ordinary VMs. Pass [engine] to place several
     scenarios (hosts) in one simulation — a cluster; [name_prefix]
-    keeps their VM names distinct. *)
+    keeps their VM names distinct. [plan] is the fault-injection plan
+    wired into the VMM and the disk (default: a fresh plan seeded from
+    [seed] with nothing armed). *)
 
 val engine : t -> Simkit.Engine.t
 val host : t -> Hw.Host.t
@@ -63,14 +66,33 @@ val vms : t -> vm list
 val rng : t -> Simkit.Rng.t
 val trace : t -> Simkit.Trace.t
 
+val fault_plan : t -> Simkit.Fault.Plan.t
+(** The injection plan shared by this scenario's VMM, disk and
+    provisioning path. Arm sites on it ({!Simkit.Fault.Plan.arm}) to
+    inject faults into a subsequent reboot. *)
+
 val start : t -> Simkit.Process.task
 (** Power the machine on, build every domain, boot every guest OS and
     start its services; optionally warm web caches. After this task
     completes, every VM answers. *)
 
-val provision_vm : t -> vm -> Simkit.Process.task
+val provision_vm :
+  t -> vm -> ((unit, Simkit.Fault.t) result -> unit) -> unit
 (** (Re)build a VM from scratch: fresh domain, fresh kernel, fresh
-    services, then boot — used at start-up and by the cold-VM reboot. *)
+    services, then boot — used at start-up and by the cold-VM reboot.
+    Reports [Driver_timeout] when the ["driver.reprovision"] injection
+    site fires for a driver VM, and propagates VMM faults; nothing is
+    half-built on error, so a retry starts from scratch. *)
+
+val arm_network_artifact :
+  t -> Hw.Nic.t -> factor:float -> duration_s:float -> unit
+(** Degrade [nic] by [factor] and schedule the restoration after
+    [duration_s] (the paper's transient post-reboot network artifact).
+    At most one artifact is live; re-arming restarts the window. *)
+
+val cancel_network_artifact : t -> unit
+(** Cancel a pending artifact window and restore the NIC now — called
+    on early teardown so a short run cannot leak a degraded NIC. *)
 
 val attach_probers : t -> ?interval_s:float -> unit -> Netsim.Prober.t list
 (** One started prober per VM, probing {!vm_is_up}. *)

@@ -1,34 +1,17 @@
 module Vmm = Xenvmm.Vmm
-
-let resume_all scenario k =
-  let vmm = Scenario.vmm scenario in
-  let cal = Scenario.calibration scenario in
-  let engine = Scenario.engine scenario in
-  let suspended =
-    List.filter (fun v -> not (Scenario.vm_is_driver v)) (Scenario.vms scenario)
-  in
-  (* xend resumes the domains one at a time. *)
-  let resume_one v k =
-    Simkit.Process.delay engine cal.Calibration.resume_dispatch_s (fun () ->
-        Vmm.resume_domain_on_memory vmm (Scenario.vm_domain v) (function
-          | Ok () -> k ()
-          | Error e -> failwith (Vmm.error_message e)))
-  in
-  Simkit.Process.seq (List.map resume_one suspended) k
+module Domain = Xenvmm.Domain
+module Fault = Simkit.Fault
 
 let apply_network_artifact scenario =
   let cal = Scenario.calibration scenario in
   if
     cal.Calibration.enable_warm_artifact
     && List.length (Scenario.vms scenario) > 1
-  then begin
-    let nic = (Scenario.host scenario).Hw.Host.nic in
-    Hw.Nic.set_degradation nic ~factor:cal.Calibration.warm_artifact_factor;
-    ignore
-      (Simkit.Engine.schedule (Scenario.engine scenario)
-         ~delay:cal.Calibration.warm_artifact_duration_s (fun () ->
-           Hw.Nic.clear_degradation nic))
-  end
+  then
+    Scenario.arm_network_artifact scenario
+      (Scenario.host scenario).Hw.Host.nic
+      ~factor:cal.Calibration.warm_artifact_factor
+      ~duration_s:cal.Calibration.warm_artifact_duration_s
 
 (* Driver domains cannot be suspended (Section 7): like the cold path,
    they are shut down before the reload and re-provisioned after. *)
@@ -43,17 +26,35 @@ let shutdown_drivers scenario drivers k =
            drivers)
         k)
 
-let reprovision_drivers scenario drivers k =
-  Simkit.Process.par
-    (List.map (fun v -> Scenario.provision_vm scenario v) drivers)
-    k
+(* Rebuild a set of VMs from scratch under the run's policy: retries
+   per VM, then either abandon (the VM is lost for good) or declare the
+   run fatal. *)
+let reprovision run scenario vms k =
+  let policy = run.Recovery.run_policy in
+  let provision_one v k =
+    Recovery.with_retries run ~step:"reprovision"
+      (fun k -> Scenario.provision_vm scenario v k)
+      (function
+        | `Ok -> k ()
+        | `Gave_up f ->
+          if policy.Recovery.abandon_failed_domains then
+            Recovery.abandon run (Scenario.vm_name v)
+          else Recovery.set_fatal run f;
+          k ())
+  in
+  Simkit.Process.par (List.map provision_one vms) k
 
-let execute scenario k =
+let execute ?(policy = Recovery.default) scenario k =
   let vmm = Scenario.vmm scenario in
   let cal = Scenario.calibration scenario in
   let tr = Scenario.trace scenario in
+  let run = Recovery.start ~policy Strategy.Warm in
+  let finish () = k (Recovery.finish run) in
   Simkit.Trace.instant tr "reboot command (warm)";
   let drivers = List.filter Scenario.vm_is_driver (Scenario.vms scenario) in
+  let guests =
+    List.filter (fun v -> not (Scenario.vm_is_driver v)) (Scenario.vms scenario)
+  in
   let suspend k =
     let pre = Simkit.Trace.begin_span tr "pre-reboot tasks" in
     Vmm.suspend_all_on_memory vmm (fun () ->
@@ -75,20 +76,107 @@ let execute scenario k =
   let stage_image k =
     Vmm.xexec_load vmm (function
       | Ok () -> k ()
-      | Error e -> failwith (Vmm.error_message e))
+      | Error e ->
+        Recovery.note run ~step:"xexec" e;
+        if policy.Recovery.fallback then
+          (* Proceed without a staged image: quick reload stages a
+             default one on the fly, moving its disk read into the
+             outage — slower, not fatal. *)
+          k ()
+        else begin
+          Recovery.set_fatal run e;
+          finish ()
+        end)
+  in
+  (* A failed quick reload leaves the machine wedged with every frozen
+     image stranded in RAM: fall back to finishing the reboot cold —
+     hardware reset (the images are lost), then rebuild everything. *)
+  let cold_finish k =
+    Recovery.fell_back run Strategy.Cold;
+    List.iter (fun v -> Recovery.abandon run (Scenario.vm_name v)) guests;
+    Vmm.hardware_reset vmm (fun () ->
+        Vmm.boot_dom0 vmm (fun () ->
+            reprovision run scenario (Scenario.vms scenario) k))
+  in
+  (* xend resumes the suspended domains one at a time; a resume failure
+     leaves the image frozen, so it can be retried before the domain is
+     given up and rebuilt from scratch. *)
+  let resume_all k =
+    let engine = Scenario.engine scenario in
+    let suspended =
+      List.filter
+        (fun v -> Domain.state (Scenario.vm_domain v) = Domain.Suspended)
+        guests
+    in
+    let rebuilds = ref [] in
+    let resume_one v k =
+      Recovery.with_retries run ~step:"resume"
+        (fun k ->
+          Simkit.Process.delay engine cal.Calibration.resume_dispatch_s
+            (fun () ->
+              Vmm.resume_domain_on_memory vmm (Scenario.vm_domain v) k))
+        (function
+          | `Ok -> k ()
+          | `Gave_up f ->
+            if policy.Recovery.abandon_failed_domains then begin
+              Recovery.abandon run (Scenario.vm_name v);
+              (* Tear the frozen carcass down; rebuilt fresh below. *)
+              Vmm.destroy_domain vmm (Scenario.vm_domain v) (fun () ->
+                  rebuilds := v :: !rebuilds;
+                  k ())
+            end
+            else begin
+              Recovery.set_fatal run f;
+              k ()
+            end)
+    in
+    Simkit.Process.seq (List.map resume_one suspended) (fun () ->
+        k (List.rev !rebuilds))
   in
   stage_image (fun () ->
   shutdown_drivers scenario drivers (fun () ->
       preamble (fun () ->
+          (* Guests whose suspend failed are already [Crashed]; their
+             images will not survive the reload. *)
+          let crashed =
+            List.filter
+              (fun v -> Domain.state (Scenario.vm_domain v) = Domain.Crashed)
+              guests
+          in
+          List.iter
+            (fun v ->
+              Recovery.note run ~step:"suspend"
+                (Fault.Suspend_failed (Scenario.vm_name v));
+              if policy.Recovery.abandon_failed_domains then
+                Recovery.abandon run (Scenario.vm_name v)
+              else
+                Recovery.set_fatal run
+                  (Fault.Suspend_failed (Scenario.vm_name v)))
+            crashed;
+          if run.Recovery.run_fatal <> None then finish ()
+          else
           let reboot = Simkit.Trace.begin_span tr "vmm reboot" in
           Vmm.quick_reload vmm (function
-            | Error e -> failwith (Vmm.error_message e)
+            | Error e ->
+              Recovery.note run ~step:"quick_reload" e;
+              if policy.Recovery.fallback then
+                cold_finish (fun () ->
+                    Simkit.Trace.end_span tr reboot;
+                    finish ())
+              else begin
+                Recovery.set_fatal run e;
+                finish ()
+              end
             | Ok () ->
               Vmm.boot_dom0 vmm (fun () ->
                   Simkit.Trace.end_span tr reboot;
                   let post = Simkit.Trace.begin_span tr "post-reboot tasks" in
-                  resume_all scenario (fun () ->
-                      reprovision_drivers scenario drivers (fun () ->
-                          Simkit.Trace.end_span tr post;
-                          apply_network_artifact scenario;
-                          k ())))))))
+                  resume_all (fun rebuilds ->
+                      if run.Recovery.run_fatal <> None then finish ()
+                      else
+                        reprovision run scenario (drivers @ crashed @ rebuilds)
+                          (fun () ->
+                            Simkit.Trace.end_span tr post;
+                            if run.Recovery.run_fatal = None then
+                              apply_network_artifact scenario;
+                            finish ())))))))

@@ -14,11 +14,21 @@
       creating many domains at once is modelled for
       [warm_artifact_duration_s].
 
+    Faults along the way are handled per the {!Recovery.policy}: a
+    failed suspend abandons that domain (rebuilt fresh after the
+    reload), a failed resume is retried and then abandoned, a failed
+    quick reload falls back to finishing the reboot cold (hardware
+    reset — every frozen image is lost), and a failed xexec staging
+    proceeds with an in-outage image load.
+
     Trace spans emitted (on the host trace): ["pre-reboot tasks"],
     ["vmm reboot"], ["post-reboot tasks"] plus the finer-grained spans
     from the VMM layer. *)
 
-val execute : Scenario.t -> Simkit.Process.task
-(** Run one warm-VM reboot of the scenario's host. The task completes
-    when every VM answers again (and any artifact window has been set
-    up — the artifact outlives the task). *)
+val execute :
+  ?policy:Recovery.policy -> Scenario.t -> (Recovery.outcome -> unit) -> unit
+(** Run one warm-VM reboot of the scenario's host. The continuation
+    receives the {!Recovery.outcome}; unless [outcome.fatal] is set,
+    every surviving VM answers again when it fires (and any artifact
+    window has been set up — the artifact outlives the task).
+    [policy] defaults to {!Recovery.default}. *)

@@ -2,7 +2,11 @@ type 'a task = { key : string; cache_key : string option; run : unit -> 'a }
 
 type metrics = { wall_s : float; sim_events : int; cached : bool }
 
-type 'a outcome = { key : string; value : 'a; metrics : metrics }
+type 'a outcome = {
+  key : string;
+  value : ('a, Simkit.Fault.t) result;
+  metrics : metrics;
+}
 
 type 'a codec = { encode : 'a -> string; decode : string -> 'a }
 
@@ -11,6 +15,14 @@ let marshal_codec () =
     encode = (fun v -> Marshal.to_string v []);
     decode = (fun s -> Marshal.from_string s 0);
   }
+
+(* A run that dies on a typed fault is a result, not a crash: the rest
+   of the sweep proceeds and the caller sees the fault in its outcome.
+   Any other exception still aborts the whole sweep via Pool. *)
+let guarded run =
+  match run () with
+  | v -> Ok v
+  | exception Simkit.Fault.Error f -> Error f
 
 let execute ?cache ~(codec : 'a codec) (t : 'a task) =
   let t0 = Unix.gettimeofday () in
@@ -24,16 +36,18 @@ let execute ?cache ~(codec : 'a codec) (t : 'a task) =
     let value = codec.decode bytes in
     {
       key = t.key;
-      value;
+      value = Ok value;
       metrics =
         { wall_s = Unix.gettimeofday () -. t0; sim_events = 0; cached = true };
     }
   | None ->
     let ev0 = Simkit.Engine.domain_events_processed () in
-    let value = t.run () in
+    let value = guarded t.run in
     let sim_events = Simkit.Engine.domain_events_processed () - ev0 in
-    (match (cache, t.cache_key) with
-    | Some c, Some k -> Cache.store c k (codec.encode value)
+    (match (cache, t.cache_key, value) with
+    (* Faulted runs are never cached: a fixed injection plan will
+       reproduce them, and a changed one should not see stale faults. *)
+    | Some c, Some k, Ok v -> Cache.store c k (codec.encode v)
     | _ -> ());
     {
       key = t.key;
@@ -54,16 +68,21 @@ let run ?jobs ?cache ?codec ?(verify_isolation = false)
     (* Replay the first freshly computed task on this domain; a
        deterministic run can only differ if some mutable state was
        shared across domains during the parallel pass. *)
+    let encode_result = function
+      | Ok v -> "ok:" ^ codec.encode v
+      | Error f -> "fault:" ^ Marshal.to_string (f : Simkit.Fault.t) []
+    in
     let check i =
-      let replay = codec.encode (tasks.(i).run ()) in
-      let parallel = codec.encode outcomes.(i).value in
+      let replay = encode_result (guarded tasks.(i).run) in
+      let parallel = encode_result outcomes.(i).value in
       if not (String.equal replay parallel) then
-        failwith
-          (Printf.sprintf
-             "Sweep.run: task %S is not reproducible — parallel and \
-              sequential results differ (shared mutable state leaked \
-              between domains?)"
-             tasks.(i).key)
+        Simkit.Fault.fail
+          (Simkit.Fault.Invariant
+             (Printf.sprintf
+                "Sweep.run: task %S is not reproducible — parallel and \
+                 sequential results differ (shared mutable state leaked \
+                 between domains?)"
+                tasks.(i).key))
     in
     let rec first_fresh i =
       if i < Array.length outcomes then

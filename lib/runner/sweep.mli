@@ -27,7 +27,14 @@ type metrics = {
   cached : bool;
 }
 
-type 'a outcome = { key : string; value : 'a; metrics : metrics }
+type 'a outcome = {
+  key : string;
+  value : ('a, Simkit.Fault.t) result;
+      (** [Error f] when the run died on a typed fault ({!Simkit.Fault.Error});
+          the rest of the sweep still completes. Any other exception
+          aborts the whole sweep. *)
+  metrics : metrics;
+}
 
 type 'a codec = { encode : 'a -> string; decode : string -> 'a }
 (** Byte serialization used for the cache and for isolation checks. *)
@@ -46,10 +53,11 @@ val run :
 (** Execute every task, [jobs] at a time ({!Pool.parallel_map}
     semantics; [jobs] defaults to {!Pool.default_jobs}). Outcomes are
     sorted by [key]. With [cache], tasks whose [cache_key] hits are not
-    run at all; fresh results are stored back. [codec] defaults to
-    {!marshal_codec}. [verify_isolation] (default [false]) re-runs the
-    first non-cached task sequentially afterwards and raises [Failure]
-    if its bytes differ from the parallel result. *)
+    run at all; fresh results are stored back (faulted runs are never
+    cached). [codec] defaults to {!marshal_codec}. [verify_isolation]
+    (default [false]) re-runs the first non-cached task sequentially
+    afterwards and raises [Simkit.Fault.Error (Invariant _)] if its
+    bytes differ from the parallel result. *)
 
 val total_wall_s : 'a outcome list -> float
 (** Sum of per-run wall clocks — the sequential-equivalent cost, to

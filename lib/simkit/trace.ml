@@ -35,21 +35,32 @@ let spans t =
 
 let instants t = List.rev t.marks
 
+(* duration / find_span answer point queries; walking the raw span
+   list once per query avoids rebuilding the full completed-span view
+   (and, previously, walking it a second time just to learn whether
+   the label occurred at all). *)
+
 let duration t label =
-  let total =
+  let total, found =
     List.fold_left
-      (fun acc (l, start, stop) ->
-        if String.equal l label then acc +. (stop -. start) else acc)
-      0.0 (spans t)
+      (fun ((total, _) as acc) s ->
+        match s.stop with
+        | Some stop when String.equal s.label label ->
+          (total +. (stop -. s.start), true)
+        | _ -> acc)
+      (0.0, false) t.all_spans
   in
-  let exists = List.exists (fun (l, _, _) -> String.equal l label) (spans t) in
-  if exists then Some total else None
+  if found then Some total else None
 
 let find_span t label =
-  List.find_map
-    (fun (l, start, stop) ->
-      if String.equal l label then Some (start, stop) else None)
-    (spans t)
+  (* [all_spans] is newest-first; keep overwriting so the last match
+     seen — the oldest, i.e. first in start order — wins. *)
+  List.fold_left
+    (fun acc s ->
+      match s.stop with
+      | Some stop when String.equal s.label label -> Some (s.start, stop)
+      | _ -> acc)
+    None t.all_spans
 
 let clear t =
   t.all_spans <- [];

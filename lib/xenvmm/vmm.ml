@@ -6,26 +6,11 @@ type event =
   | Hypercall of Hypercall.t
   | Heap_exhausted
 
-type error =
-  [ `Out_of_machine_memory
-  | `Out_of_heap
-  | `Vmm_down
-  | `Bad_domain_state of Domain.state
-  | `Preserved_image_lost of string
-  | `No_image_staged
-  | `Disk_full ]
+module Fault = Simkit.Fault
 
-let error_message = function
-  | `Out_of_machine_memory -> "not enough free machine memory"
-  | `Out_of_heap -> "VMM heap exhausted"
-  | `Vmm_down -> "VMM is not running"
-  | `Bad_domain_state s ->
-    Printf.sprintf "domain in unexpected state %s" (Domain.state_name s)
-  | `Preserved_image_lost name ->
-    Printf.sprintf "preserved memory image of %s was lost across the reboot"
-      name
-  | `No_image_staged -> "no executable image staged for quick reload"
-  | `Disk_full -> "not enough disk space for the memory image"
+type error = Fault.t
+
+let error_message = Fault.to_string
 
 type saved_image = {
   img_domain : Domain.t;
@@ -61,6 +46,7 @@ type t = {
   mutable staged : (Image.t * Hw.Frame.extent list) option;
   sched : Scheduler.t;
   mutable grant_table : Grant_table.t;
+  mutable fault_plan : Fault.Plan.t option;
 }
 
 let create ?(timing = Timing.default) ?(heap_capacity = Vmm_heap.default_capacity_bytes)
@@ -90,7 +76,16 @@ let create ?(timing = Timing.default) ?(heap_capacity = Vmm_heap.default_capacit
     (* Two dual-core Opterons in the paper's testbed. *)
     sched = Scheduler.create hw.Hw.Host.engine ~physical_cpus:4 ();
     grant_table = Grant_table.create ();
+    fault_plan = None;
   }
+
+let set_fault_plan t plan = t.fault_plan <- plan
+
+(* Consult the scenario's injection plan at a named site. *)
+let injected t ~site =
+  match t.fault_plan with
+  | None -> false
+  | Some plan -> Fault.Plan.fires plan ~site
 
 let log_src = Logs.Src.create "roothammer.vmm" ~doc:"VMM lifecycle events"
 
@@ -177,14 +172,14 @@ let allocate_domain_memory t dom =
   let mem_pages = Simkit.Units.pages_of_bytes mem_bytes in
   let table_pages = Simkit.Units.pages_of_bytes (mem_pages * 8) in
   match Hw.Frame.alloc (frames t) ~frames:table_pages with
-  | None -> Error `Out_of_machine_memory
+  | None -> Error Fault.Out_of_memory
   | Some table_extents -> (
     Domain.set_p2m_frames dom table_extents;
     match Hw.Frame.alloc (frames t) ~frames:mem_pages with
     | None ->
       Hw.Frame.free (frames t) table_extents;
       Domain.set_p2m_frames dom [];
-      Error `Out_of_machine_memory
+      Error Fault.Out_of_memory
     | Some mem_extents ->
       let _ =
         List.fold_left
@@ -214,7 +209,7 @@ let charge_domain_heap t dom =
       ~tag:(Printf.sprintf "domain/%s" (Domain.name dom))
       ~bytes:domain_struct_bytes
   with
-  | Error `Out_of_memory -> Error `Out_of_heap
+  | Error `Out_of_memory -> Error Fault.Heap_exhausted
   | Ok a ->
     Hashtbl.replace t.domain_heap (Domain.id dom) a;
     Ok ()
@@ -271,7 +266,7 @@ let xexec_load t ?(image = Image.default) k =
   (* Replacing a previously staged image releases its frames. *)
   drop_staged_image ~free_frames:true t;
   match Hw.Frame.alloc_bytes (frames t) ~bytes:(Image.total_bytes image) with
-  | None -> k (Error `Out_of_machine_memory)
+  | None -> k (Error Fault.Out_of_memory)
   | Some extents ->
     Hw.Disk.read t.hw.Hw.Host.disk ~bytes:(Image.total_bytes image)
       (fun () ->
@@ -288,10 +283,10 @@ let build_dom0 t =
       ~mem_bytes:t.dom0_mem_bytes
   in
   match allocate_domain_memory t d with
-  | Error _ -> failwith "Vmm: cannot allocate dom0 memory"
+  | Error _ -> Fault.fail (Fault.Invariant "cannot allocate dom0 memory")
   | Ok () ->
     (match charge_domain_heap t d with
-    | Error _ -> failwith "Vmm: cannot charge heap for dom0"
+    | Error _ -> Fault.fail (Fault.Invariant "cannot charge heap for dom0")
     | Ok () -> ());
     Hashtbl.replace t.domains id d;
     emit t (Domain_created id);
@@ -404,7 +399,7 @@ let crash_unpreserved t ~preserve_suspended =
     doomed
 
 let rec quick_reload t k =
-  if t.vmm_state <> Vmm_running then k (Error `Vmm_down)
+  if t.vmm_state <> Vmm_running then k (Error Fault.Vmm_down)
   else
     match t.staged with
     | None ->
@@ -417,7 +412,14 @@ let rec quick_reload t k =
     | Some (_, image_extents) -> quick_reload_staged t image_extents k
 
 and quick_reload_staged t image_extents k =
-  begin
+  if injected t ~site:"vmm.reload" then begin
+    (* The jump to the staged image goes wrong: the machine is wedged
+       with no VMM running. Frozen images survive only in RAM, so a
+       hardware reset (which loses them) is the way back. *)
+    t.vmm_state <- Powered_off;
+    k (Error Fault.Reload_failed)
+  end
+  else begin
     let tr = trace t in
     (* Anything still running (e.g. a driver domain that cannot be
        suspended) does not survive the reload. *)
@@ -445,7 +447,8 @@ and quick_reload_staged t image_extents k =
     in
     (match image_reserved with
     | Ok () -> ()
-    | Error _ -> failwith "Vmm.quick_reload: staged image frames lost");
+    | Error _ ->
+      Fault.fail (Fault.Invariant "quick_reload: staged image frames lost"));
     let reserve_all d =
       let reserve_list extents =
         List.fold_left
@@ -461,13 +464,13 @@ and quick_reload_staged t image_extents k =
         | None -> []
       in
       match reserve_list (Domain.p2m_frames d) with
-      | Error _ -> Error (`Preserved_image_lost (Domain.name d))
+      | Error _ -> Error (Fault.Image_lost (Domain.name d))
       | Ok () -> (
         match reserve_list (P2m.machine_extents (Domain.p2m d)) with
-        | Error _ -> Error (`Preserved_image_lost (Domain.name d))
+        | Error _ -> Error (Fault.Image_lost (Domain.name d))
         | Ok () -> (
           match reserve_list exec_frames with
-          | Error _ -> Error (`Preserved_image_lost (Domain.name d))
+          | Error _ -> Error (Fault.Image_lost (Domain.name d))
           | Ok () -> Ok ()))
     in
     let rec reserve_domains = function
@@ -489,7 +492,8 @@ and quick_reload_staged t image_extents k =
         (fun d ->
           match charge_domain_heap t d with
           | Ok () -> ()
-          | Error _ -> failwith "Vmm.quick_reload: heap cannot hold domains")
+          | Error _ ->
+            Fault.fail (Fault.Invariant "quick_reload: heap cannot hold domains"))
         preserved;
       t.chans <- Event_channel.create ();
       t.grant_table <- Grant_table.create ();
@@ -549,7 +553,7 @@ let hardware_reset t k =
 (* --- domain construction ---------------------------------------------- *)
 
 let create_domain t ~name ~mem_bytes k =
-  if t.vmm_state <> Vmm_running then k (Error `Vmm_down)
+  if t.vmm_state <> Vmm_running then k (Error Fault.Vmm_down)
   else begin
     let id = t.next_domid in
     t.next_domid <- id + 1;
@@ -587,7 +591,7 @@ let destroy_domain t dom k =
       k ())
 
 let balloon t dom ~delta_bytes =
-  if t.vmm_state <> Vmm_running then Error `Vmm_down
+  if t.vmm_state <> Vmm_running then Error Fault.Vmm_down
   else if delta_bytes = 0 then Ok ()
   else begin
     emit t (Hypercall (Hypercall.Memory_op (Domain.id dom)));
@@ -595,7 +599,7 @@ let balloon t dom ~delta_bytes =
     if delta_bytes > 0 then begin
       let add_pages = Simkit.Units.pages_of_bytes delta_bytes in
       match Hw.Frame.alloc (frames t) ~frames:add_pages with
-      | None -> Error `Out_of_machine_memory
+      | None -> Error Fault.Out_of_memory
       | Some extents ->
         let _ =
           List.fold_left
@@ -608,7 +612,7 @@ let balloon t dom ~delta_bytes =
     end
     else begin
       let remove_pages = Simkit.Units.pages_of_bytes (-delta_bytes) in
-      if remove_pages > P2m.pages p2m then Error `Out_of_machine_memory
+      if remove_pages > P2m.pages p2m then Error Fault.Out_of_memory
       else begin
         let released =
           P2m.remove_range p2m
@@ -633,7 +637,14 @@ let freeze_domain t d k =
   | Some port -> ignore (Event_channel.notify t.chans (engine t) port)
   | None -> ());
   Domain.suspend_handler d (fun () ->
-      if Grant_table.foreign_mappings_of t.grant_table (Domain.id d) > 0 then begin
+      if injected t ~site:"vmm.suspend" then begin
+        (* Injected suspend failure: the freeze walk corrupts the image
+           and the domain is lost, exactly as if its suspend handler had
+           left a foreign mapping behind. *)
+        Domain.set_state d Domain.Crashed;
+        k ()
+      end
+      else if Grant_table.foreign_mappings_of t.grant_table (Domain.id d) > 0 then begin
         (* A page of this domain is still mapped by another domain: its
            image cannot be frozen safely. *)
         Domain.set_state d Domain.Crashed;
@@ -688,12 +699,17 @@ let suspend_all_on_memory t k =
       k ())
 
 let resume_domain_on_memory t d k =
-  if t.vmm_state <> Vmm_running then k (Error `Vmm_down)
+  if t.vmm_state <> Vmm_running then k (Error Fault.Vmm_down)
   else
     match Domain.state d with
+    | Domain.Suspended when injected t ~site:"xend.resume" ->
+      (* Injected resume failure before any state is touched: the
+         domain stays frozen, so the caller may retry. *)
+      k (Error (Fault.Resume_failed (Domain.name d)))
     | Domain.Suspended -> (
       match Domain.exec_state d with
-      | None -> k (Error (`Bad_domain_state Domain.Suspended))
+      | None ->
+        k (Error (Fault.Bad_domain_state (Domain.state_name Domain.Suspended)))
       | Some es ->
         Domain.set_state d Domain.Resuming;
         emit t (Hypercall (Hypercall.Resume (Domain.id d)));
@@ -712,7 +728,7 @@ let resume_domain_on_memory t d k =
                 Domain.set_state d Domain.Running;
                 store_domain_state t d;
                 k (Ok ()))))
-    | s -> k (Error (`Bad_domain_state s))
+    | s -> k (Error (Fault.Bad_domain_state (Domain.state_name s)))
 
 (* --- traditional save/restore ------------------------------------------ *)
 
@@ -721,18 +737,23 @@ let save_domain_to_disk t d k =
   Domain.suspend_handler d (fun () ->
       emit t (Hypercall (Hypercall.Suspend (Domain.id d)));
       let devices = Domain.detach_all_devices d in
-      let image_bytes =
-        Domain.mem_bytes d + t.timing.Timing.exec_state_bytes
-      in
-      match Hw.Disk.allocate_space t.hw.Hw.Host.disk ~bytes:image_bytes with
-      | Error `Disk_full ->
-        (* Abort the save: reattach devices and resume in place; the
-           frozen services come back without a restart. *)
+      (* Abort the save: reattach devices and resume in place; the
+         frozen services come back without a restart. *)
+      let abort_save fault =
         List.iter (Domain.attach_device d) devices;
         Domain.set_state d Domain.Resuming;
         Domain.resume_handler d (fun () ->
             Domain.set_state d Domain.Running;
-            k (Error `Disk_full))
+            k (Error fault))
+      in
+      let image_bytes =
+        Domain.mem_bytes d + t.timing.Timing.exec_state_bytes
+      in
+      if injected t ~site:"vmm.suspend" then
+        abort_save (Fault.Suspend_failed (Domain.name d))
+      else
+      match Hw.Disk.allocate_space t.hw.Hw.Host.disk ~bytes:image_bytes with
+      | Error `Disk_full -> abort_save Fault.Disk_full
       | Ok () ->
       Simkit.Process.delay (engine t) t.timing.Timing.save_handler_s
         (fun () ->
@@ -763,10 +784,14 @@ let save_domain_to_disk t d k =
               k (Ok ()))))
 
 let restore_domain_from_disk t ~name k =
-  if t.vmm_state <> Vmm_running then k (Error `Vmm_down)
+  if t.vmm_state <> Vmm_running then k (Error Fault.Vmm_down)
   else
     match Hashtbl.find_opt t.saved name with
-    | None -> k (Error (`Preserved_image_lost name))
+    | None -> k (Error (Fault.Image_lost name))
+    | Some _ when injected t ~site:"xend.resume" ->
+      (* Injected restore failure before anything is read back: the
+         on-disk image is intact, so the caller may retry. *)
+      k (Error (Fault.Resume_failed name))
     | Some img -> (
       let d = img.img_domain in
       match charge_domain_heap t d with

@@ -25,16 +25,17 @@ type event =
   | Hypercall of Hypercall.t
   | Heap_exhausted
 
-type error =
-  [ `Out_of_machine_memory
-  | `Out_of_heap
-  | `Vmm_down
-  | `Bad_domain_state of Domain.state
-  | `Preserved_image_lost of string
-  | `No_image_staged
-  | `Disk_full ]
+type error = Simkit.Fault.t
+(** Every VMM operation reports failures as a typed {!Simkit.Fault.t}
+    through its result channel. *)
 
 val error_message : error -> string
+
+val set_fault_plan : t -> Simkit.Fault.Plan.t option -> unit
+(** Attach (or detach) the scenario's fault-injection plan. Armed
+    sites consulted by the VMM: ["vmm.suspend"] (on-memory freeze and
+    save-time suspend), ["vmm.reload"] (quick reload), ["xend.resume"]
+    (resume and restore). *)
 
 val create :
   ?timing:Timing.t ->

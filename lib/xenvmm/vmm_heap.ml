@@ -58,10 +58,7 @@ let alloc t ~tag ~bytes =
 let alloc_exn t ~tag ~bytes =
   match alloc t ~tag ~bytes with
   | Ok a -> a
-  | Error `Out_of_memory ->
-    failwith
-      (Printf.sprintf "Vmm_heap: out of memory allocating %d bytes for %s"
-         bytes tag)
+  | Error `Out_of_memory -> Simkit.Fault.fail Simkit.Fault.Heap_exhausted
 
 let free t a =
   if not a.live then invalid_arg "Vmm_heap.free: double free";

@@ -27,6 +27,8 @@ val alloc : t -> tag:string -> bytes:int -> (allocation, [ `Out_of_memory ]) res
     request exceeds free space. *)
 
 val alloc_exn : t -> tag:string -> bytes:int -> allocation
+(** Like {!alloc} but raises [Simkit.Fault.Error Heap_exhausted] on
+    failure — for callers with no result channel (tests). *)
 
 val free : t -> allocation -> unit
 (** Release an allocation. Raises [Invalid_argument] on double free. *)

@@ -1,0 +1,4 @@
+(* D008 fixture: untyped aborts (linted as if under lib/). *)
+let boom () = failwith "no"
+let bang () = raise (Failure "no")
+let quiet () = failwith "ok" (* simlint: allow D008 fixture shows the waiver *)

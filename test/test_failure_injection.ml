@@ -51,7 +51,7 @@ let test_disk_full_aborts_save () =
   | Ok () -> ()
   | Error e -> Alcotest.fail (Vmm.error_message e));
   (match save engine vmm d2 with
-  | Error `Disk_full -> ()
+  | Error Simkit.Fault.Disk_full -> ()
   | _ -> Alcotest.fail "expected Disk_full");
   (* The failed domain resumed in place and is fully functional. *)
   check_true "vm02 running again" (Domain.state d2 = Domain.Running);
@@ -84,7 +84,7 @@ let test_save_retry_after_cleanup () =
   let d2 = running_domain engine vmm ~name:"vm02" ~mem_bytes:(gib 1) in
   (match save engine vmm d1 with Ok () -> () | Error _ -> Alcotest.fail "s1");
   (match save engine vmm d2 with
-  | Error `Disk_full -> ()
+  | Error Simkit.Fault.Disk_full -> ()
   | _ -> Alcotest.fail "expected Disk_full");
   let restored = ref None in
   Vmm.restore_domain_from_disk vmm ~name:"vm01" (fun r -> restored := Some r);
@@ -114,7 +114,7 @@ let test_heap_exhaustion_under_churn () =
     | Some (Ok d) ->
       run_task engine (Vmm.destroy_domain vmm d);
       true
-    | Some (Error `Out_of_heap) -> false
+    | Some (Error Simkit.Fault.Heap_exhausted) -> false
     | _ -> Alcotest.fail "unexpected churn result"
   in
   let rec churn_until_failure i =

@@ -223,7 +223,7 @@ let test_aging_triggered_warm_reboot () =
        with
       | Rejuv.Policy.Trigger.Rejuvenate_now ->
         rejuvenated := true;
-        Rejuv.Roothammer.rejuvenate s ~strategy:Strategy.Warm (fun () -> ())
+        Rejuv.Roothammer.rejuvenate s ~strategy:Strategy.Warm (fun _ -> ())
       | _ -> ());
       if not !rejuvenated then
         ignore (Simkit.Engine.schedule engine ~delay:50.0 leak_loop)

@@ -154,7 +154,7 @@ let test_migrate_requires_running () =
     (fun r -> result := Some r);
   Engine.run engine;
   match !result with
-  | Some (Error (`Bad_domain_state _)) -> ()
+  | Some (Error (Simkit.Fault.Bad_domain_state _)) -> ()
   | _ -> Alcotest.fail "expected Bad_domain_state"
 
 let test_migrate_dst_out_of_memory () =
@@ -172,8 +172,8 @@ let test_migrate_dst_out_of_memory () =
     (fun r -> result := Some r);
   Engine.run engine;
   (match !result with
-  | Some (Error `Out_of_machine_memory) -> ()
-  | _ -> Alcotest.fail "expected Out_of_machine_memory");
+  | Some (Error Simkit.Fault.Out_of_memory) -> ()
+  | _ -> Alcotest.fail "expected Out_of_memory");
   (* The source VM is untouched by the failure. *)
   check_true "still on src"
     (Domain.state (Guest.Kernel.domain kernel) = Domain.Running)

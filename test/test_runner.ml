@@ -68,13 +68,18 @@ let test_sweep_key_order () =
   Alcotest.(check (list string)) "ascending key order" [ "a"; "b"; "c" ] keys;
   List.iter
     (fun (o : _ Sweep.outcome) ->
-      check_true "value matches key" (String.equal o.key o.value);
+      check_true "value matches key" (o.value = Ok o.key);
       check_true "wall clock measured" (o.metrics.wall_s >= 0.0);
       check_false "nothing cached" o.metrics.cached)
     outcomes
 
 let cheap_params =
-  { Spec.default_params with vm_counts = Some [ 1; 2 ]; mem_gib = Some [ 1; 2 ] }
+  {
+    Spec.default_params with
+    vm_counts = Some [ 1; 2 ];
+    mem_gib = Some [ 1; 2 ];
+    smoke = true;
+  }
 
 let merged_bytes ~jobs ids =
   let merged, _ = Experiment.sweep ~jobs ~params:cheap_params ids in
@@ -251,7 +256,7 @@ let test_every_experiment_round_trips_json () =
     (fun id ->
       let merged, _ = Experiment.sweep ~jobs:1 ~params:cheap_params [ id ] in
       match merged with
-      | [ (id', result) ] ->
+      | [ (id', Ok result) ] ->
         check_true "id preserved" (String.equal id id');
         let json = Result.to_json result in
         check_true (id ^ ": valid JSON") (json_valid json);

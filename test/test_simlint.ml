@@ -71,6 +71,16 @@ let test_d007 () =
     [ ("D007", 2, 30) ]
     (Lint.lint_file (fixture "d007_swallow.ml"))
 
+let test_d008 () =
+  (* Both the failwith and the explicit Failure raise fire (the
+     suppressed one on line 4 does not); the rule is scoped to lib/. *)
+  check_findings "untyped aborts flagged under lib/"
+    [ ("D008", 2, 14); ("D008", 3, 14) ]
+    (Lint.lint_file ~as_path:"lib/guest/fixture.ml"
+       (fixture "d008_failwith.ml"));
+  check_findings "failwith outside lib/ not flagged" []
+    (Lint.lint_file (fixture "d008_failwith.ml"))
+
 let test_clean () =
   check_findings "clean file passes" [] (Lint.lint_file (fixture "clean.ml"))
 
@@ -143,6 +153,7 @@ let suite =
       Alcotest.test_case "D005 unsafe casts" `Quick test_d005;
       Alcotest.test_case "D006 stdout in lib" `Quick test_d006;
       Alcotest.test_case "D007 swallowed exceptions" `Quick test_d007;
+      Alcotest.test_case "D008 untyped aborts in lib" `Quick test_d008;
       Alcotest.test_case "clean fixture passes" `Quick test_clean;
       Alcotest.test_case "suppression honored" `Quick test_suppression;
       Alcotest.test_case "bad suppression reported" `Quick test_bad_suppression;

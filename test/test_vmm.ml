@@ -83,8 +83,8 @@ let test_out_of_machine_memory () =
       result := Some r);
   Engine.run engine;
   (match !result with
-  | Some (Error `Out_of_machine_memory) -> ()
-  | _ -> Alcotest.fail "expected Out_of_machine_memory");
+  | Some (Error Simkit.Fault.Out_of_memory) -> ()
+  | _ -> Alcotest.fail "expected Out_of_memory");
   check_int "no leak into table" 0 (List.length (Vmm.domus vmm))
 
 let test_heap_exhaustion_on_create () =
@@ -96,8 +96,8 @@ let test_heap_exhaustion_on_create () =
       result := Some r);
   Engine.run engine;
   match !result with
-  | Some (Error `Out_of_heap) -> ()
-  | _ -> Alcotest.fail "expected Out_of_heap"
+  | Some (Error Simkit.Fault.Heap_exhausted) -> ()
+  | _ -> Alcotest.fail "expected Heap_exhausted"
 
 let test_balloon_up_down () =
   let engine, _host, vmm = booted_vmm () in
@@ -160,7 +160,7 @@ let test_resume_wrong_state () =
   Vmm.resume_domain_on_memory vmm d (fun r -> result := Some r);
   Engine.run engine;
   match !result with
-  | Some (Error (`Bad_domain_state Domain.Running)) -> ()
+  | Some (Error (Simkit.Fault.Bad_domain_state "running")) -> ()
   | _ -> Alcotest.fail "expected Bad_domain_state"
 
 let test_quick_reload_preserves_suspended () =
@@ -284,8 +284,8 @@ let test_restore_unknown_image () =
   Vmm.restore_domain_from_disk vmm ~name:"ghost" (fun x -> r := Some x);
   Engine.run engine;
   match !r with
-  | Some (Error (`Preserved_image_lost "ghost")) -> ()
-  | _ -> Alcotest.fail "expected Preserved_image_lost"
+  | Some (Error (Simkit.Fault.Image_lost "ghost")) -> ()
+  | _ -> Alcotest.fail "expected Image_lost"
 
 let test_save_scales_with_memory () =
   (* Stock Xen's weakness (Figure 4): save time grows with memory. *)

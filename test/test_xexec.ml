@@ -233,7 +233,7 @@ let test_memory_overcommit_via_balloon () =
       refused := Some r);
   Engine.run engine;
   (match !refused with
-  | Some (Error `Out_of_machine_memory) -> ()
+  | Some (Error Simkit.Fault.Out_of_memory) -> ()
   | _ -> Alcotest.fail "expected OOM before ballooning");
   (* ...until the running guests balloon down. *)
   (match Guest.Kernel.balloon k1 ~delta_bytes:(-gib 1) with

@@ -30,6 +30,7 @@ let catalogue =
     ("D005", "unsafe cast or closure-admitting Marshal flags");
     ("D006", "direct stdout printing inside lib/; use Report/Trace");
     ("D007", "exception-swallowing wildcard handler");
+    ("D008", "failwith/Failure raise inside lib/; report a typed Simkit.Fault");
   ]
 
 let known_rule id = List.mem_assoc id catalogue
@@ -207,7 +208,21 @@ let check ~path structure =
         (Printf.sprintf
            "direct stdout output (%s) in lib/: route output through \
             Report or Trace"
-           (String.concat "." p))
+           (String.concat "." p));
+    if in_lib path && p = [ "failwith" ] then
+      emit ~loc "D008"
+        "failwith aborts the simulation with an untyped Failure; return \
+         an [Error] carrying a Simkit.Fault.t (or Simkit.Fault.fail) so \
+         recovery policies can handle it"
+  in
+
+  let is_failure_exn e =
+    match (unparen e).pexp_desc with
+    | Pexp_construct ({ txt; _ }, _) -> (
+      match strip_stdlib (flatten txt) with
+      | [ "Failure" ] -> true
+      | _ -> false)
+    | _ -> false
   in
 
   let check_apply ~loc fpath args =
@@ -244,6 +259,12 @@ let check ~path structure =
             "Marshal flags are not a literal list; cannot verify \
              Closures is absent")
       | [] -> ())
+    | [ ("raise" | "raise_notrace") ], [ (_, arg) ]
+      when in_lib path && is_failure_exn arg ->
+      emit ~loc "D008"
+        "raising Failure aborts the simulation with an untyped \
+         exception; return an [Error] carrying a Simkit.Fault.t (or \
+         Simkit.Fault.fail) so recovery policies can handle it"
     | _ -> ())
   in
 

@@ -18,6 +18,34 @@ let row4 a b c d = pf "%-10s %14s %14s %14s@." a b c d
 
 let jobs = ref (Runner.Pool.default_jobs ())
 
+(* --- structured bench output ----------------------------------------------
+
+   Each section records its headline numbers; the driver adds simulator
+   self-metrics (wall time, events, events/s) per section and writes the
+   whole batch as a roothammer-bench/1 file (default BENCH_PR4.json).
+   Simulation outputs get a tolerance band and are gated by
+   `benchstat --check` against the committed BENCH_BASELINE.json;
+   timing self-metrics are informational (tolerance null). *)
+
+let bench_out = ref "BENCH_PR4.json"
+let bench_metrics : (string * Benchstat.Check.metric) list ref = ref []
+
+let record ?(unit_ = "s")
+    ?(tolerance_pct = Some Benchstat.Check.default_tolerance_pct) name value =
+  bench_metrics :=
+    (name, { Benchstat.Check.value; unit_; tolerance_pct }) :: !bench_metrics
+
+let record_info ?(unit_ = "s") name value =
+  record ~unit_ ~tolerance_pct:None name value
+
+let write_bench_file () =
+  let json = Benchstat.Check.to_json { Benchstat.Check.metrics = !bench_metrics } in
+  let oc = open_out !bench_out in
+  output_string oc json;
+  output_char oc '\n';
+  close_out oc;
+  pf "@.wrote %d metric(s) to %s@." (List.length !bench_metrics) !bench_out
+
 (* Run one registered experiment's shards through the sweep runner and
    return the merged result (byte-identical to the sequential path). *)
 let sweep_result ?(workload = Rejuv.Scenario.Ssh) id =
@@ -47,17 +75,35 @@ let task_times_of id ~workload =
   | Rejuv.Experiment.Result.Task_times rows -> rows
   | _ -> assert false
 
+(* Headline: the largest sweep point (the paper reports 11 GiB / 11
+   VMs), one metric per pre/post-reboot task. *)
+let record_task_times tag rows =
+  match List.rev rows with
+  | [] -> ()
+  | (last : Rejuv.Experiment.task_times) :: _ ->
+    let r name v = record (Printf.sprintf "%s.at%02d.%s" tag last.x name) v in
+    r "onmem_suspend_s" last.onmem_suspend_s;
+    r "onmem_resume_s" last.onmem_resume_s;
+    r "xen_save_s" last.xen_save_s;
+    r "xen_restore_s" last.xen_restore_s;
+    r "shutdown_s" last.shutdown_s;
+    r "boot_s" last.boot_s
+
 let fig4 () =
   header "Figure 4: pre/post-reboot task time vs VM memory size (1 VM)";
   pf "paper at 11 GiB: on-mem suspend 0.08 s, resume 0.9 s;@.";
   pf "                Xen save ~133 s, restore ~129 s (0.06%% / 0.7%%)@.";
-  print_task_times ~x_label:"GiB" (task_times_of "fig4" ~workload:Rejuv.Scenario.Ssh)
+  let rows = task_times_of "fig4" ~workload:Rejuv.Scenario.Ssh in
+  print_task_times ~x_label:"GiB" rows;
+  record_task_times "fig4" rows
 
 let fig5 () =
   header "Figure 5: pre/post-reboot task time vs number of VMs (1 GiB each)";
   pf "paper at 11 VMs: on-mem suspend 0.04 s, resume 4.2 s;@.";
   pf "                Xen save ~200 s, restore ~156 s; boot grows 3.4n@.";
-  print_task_times ~x_label:"VMs" (task_times_of "fig5" ~workload:Rejuv.Scenario.Ssh)
+  let rows = task_times_of "fig5" ~workload:Rejuv.Scenario.Ssh in
+  print_task_times ~x_label:"VMs" rows;
+  record_task_times "fig5" rows
 
 (* --- Section 5.2 --------------------------------------------------------- *)
 
@@ -68,7 +114,9 @@ let reload () =
   row4 "quick" "11 s" (Printf.sprintf "%.1f s" r.quick_reload_s) "";
   row4 "hw reset" "59 s" (Printf.sprintf "%.1f s" r.hardware_reset_s) "";
   pf "speed-up: paper 48 s, measured %.1f s@."
-    (r.hardware_reset_s -. r.quick_reload_s)
+    (r.hardware_reset_s -. r.quick_reload_s);
+  record "reload.quick_reload_s" r.quick_reload_s;
+  record "reload.hardware_reset_s" r.hardware_reset_s
 
 (* --- Figure 6 ------------------------------------------------------------ *)
 
@@ -85,15 +133,28 @@ let fig6_rows workload =
   | Rejuv.Experiment.Result.Fig6 rows -> rows
   | _ -> assert false
 
+let record_fig6 tag rows =
+  match List.rev rows with
+  | [] -> ()
+  | (last : Rejuv.Experiment.fig6_row) :: _ ->
+    let r name v = record (Printf.sprintf "%s.n%02d.%s" tag last.n name) v in
+    r "warm_downtime_s" last.warm_downtime_s;
+    r "saved_downtime_s" last.saved_downtime_s;
+    r "cold_downtime_s" last.cold_downtime_s
+
 let fig6a () =
   header "Figure 6a: downtime of ssh (seconds)";
   pf "paper at 11 VMs: warm 42, saved 429, cold 157@.";
-  print_fig6 (fig6_rows Rejuv.Scenario.Ssh)
+  let rows = fig6_rows Rejuv.Scenario.Ssh in
+  print_fig6 rows;
+  record_fig6 "fig6a" rows
 
 let fig6b () =
   header "Figure 6b: downtime of JBoss (seconds)";
   pf "paper at 11 VMs: warm ~42 (same as ssh), cold 241@.";
-  print_fig6 (fig6_rows Rejuv.Scenario.Jboss)
+  let rows = fig6_rows Rejuv.Scenario.Jboss in
+  print_fig6 rows;
+  record_fig6 "fig6b" rows
 
 (* --- Section 5.3 --------------------------------------------------------- *)
 
@@ -121,8 +182,14 @@ let avail () =
     | Rejuv.Strategy.Saved -> "99.977 %"
   in
   row4 "strategy" "paper" "measured" "nines";
+  record "avail.os_rejuvenation_downtime_s" os_downtime;
   List.iter
     (fun (s, a) ->
+      (* Gate on unavailability: drift in the tiny complement is what a
+         regression would actually move. *)
+      record ~unit_:"fraction"
+        (Printf.sprintf "avail.%s.unavailability" (Rejuv.Strategy.id s))
+        (1.0 -. a);
       row4 (Rejuv.Strategy.name s) (paper s)
         (Format.asprintf "%a" Rejuv.Availability.pp_percent a)
         (string_of_int (Rejuv.Availability.nines a)))
@@ -136,7 +203,10 @@ let fig7_one strategy =
     r.reboot_command_at;
   (match (r.web_down_at, r.web_up_at) with
   | Some d, Some u ->
-    pf "   web server down %.1f .. %.1f s (outage %.1f s)@." d u (u -. d)
+    pf "   web server down %.1f .. %.1f s (outage %.1f s)@." d u (u -. d);
+    record
+      (Printf.sprintf "fig7.%s.web_outage_s" (Rejuv.Strategy.id strategy))
+      (u -. d)
   | _ -> pf "   web server never observed down@.");
   List.iter
     (fun (l, a, b) -> pf "   span %-28s %8.1f .. %8.1f s@." l a b)
@@ -175,19 +245,27 @@ let print_before_after what unit_ paper_deg (r : Rejuv.Experiment.before_after) 
     (100.0 *. r.degradation)
     paper_deg
 
+let record_before_after tag (r : Rejuv.Experiment.before_after) =
+  record ~unit_:"fraction" (tag ^ ".degradation") r.degradation;
+  record ~unit_:"throughput" (tag ^ ".first_after") r.first_after
+
 let fig8a () =
   header "Figure 8a: 512 MB file-read throughput before/after the reboot";
-  print_before_after "warm (1st/2nd)" "MiB/s" "0 %"
-    (Rejuv.Experiment.fig8_file ~strategy:Rejuv.Strategy.Warm ());
-  print_before_after "cold (1st/2nd)" "MiB/s" "91 %"
-    (Rejuv.Experiment.fig8_file ~strategy:Rejuv.Strategy.Cold ())
+  let warm = Rejuv.Experiment.fig8_file ~strategy:Rejuv.Strategy.Warm () in
+  let cold = Rejuv.Experiment.fig8_file ~strategy:Rejuv.Strategy.Cold () in
+  print_before_after "warm (1st/2nd)" "MiB/s" "0 %" warm;
+  print_before_after "cold (1st/2nd)" "MiB/s" "91 %" cold;
+  record_before_after "fig8a.warm" warm;
+  record_before_after "fig8a.cold" cold
 
 let fig8b () =
   header "Figure 8b: web-server throughput before/after the reboot";
-  print_before_after "warm (1st/2nd)" "req/s" "0 %"
-    (Rejuv.Experiment.fig8_web ~strategy:Rejuv.Strategy.Warm ());
-  print_before_after "cold (1st/2nd)" "req/s" "69 %"
-    (Rejuv.Experiment.fig8_web ~strategy:Rejuv.Strategy.Cold ())
+  let warm = Rejuv.Experiment.fig8_web ~strategy:Rejuv.Strategy.Warm () in
+  let cold = Rejuv.Experiment.fig8_web ~strategy:Rejuv.Strategy.Cold () in
+  print_before_after "warm (1st/2nd)" "req/s" "0 %" warm;
+  print_before_after "cold (1st/2nd)" "req/s" "69 %" cold;
+  record_before_after "fig8b.warm" warm;
+  record_before_after "fig8b.cold" cold
 
 (* --- Section 5.6 ---------------------------------------------------------- *)
 
@@ -196,8 +274,12 @@ let fits () =
   pf "paper: reboot_vmm(n) = -0.55n + 43, resume(n) = 0.43n - 0.07,@.";
   pf "       reboot_os(n) = 3.8n + 13, boot(n) = 3.4n + 2.8, reset_hw = 47@.";
   pf "       => r(n) = 3.9n + 60 - 17 alpha@.";
-  pf "measured:@.%a" Rejuv.Downtime_model.pp
-    (Rejuv.Experiment.section_5_6_fits ())
+  let f = Rejuv.Experiment.section_5_6_fits () in
+  pf "measured:@.%a" Rejuv.Downtime_model.pp f;
+  let rf = Rejuv.Downtime_model.reduction_as_formula f in
+  record ~unit_:"s/vm" "fits.reduction.n_slope" rf.n_slope;
+  record "fits.reduction.constant" rf.constant;
+  record "fits.reduction.alpha_coefficient" rf.alpha_coefficient
 
 (* --- Figure 2 (policy) ---------------------------------------------------- *)
 
@@ -417,7 +499,12 @@ let faults () =
           c.fm_site c.injected c.recovered
           (Rejuv.Strategy.id c.completed)
           c.retries c.domains_lost c.extra_downtime_s)
-      cells
+      cells;
+    let recovered =
+      List.length (List.filter (fun (c : Rejuv.Fault_matrix.cell) -> c.recovered) cells)
+    in
+    record ~unit_:"fraction" "faults.recovered_fraction"
+      (float_of_int recovered /. float_of_int (List.length cells))
   | _ -> assert false
 
 (* --- The parallel sweep runner itself -------------------------------------- *)
@@ -451,8 +538,13 @@ let sweep () =
   if cores <= 1 then
     pf "(host reports %d core — domains interleave, elapsed cannot drop)@."
       cores;
-  pf "merged results byte-identical to the sequential path: %b@."
-    (String.equal (bytes seq) (bytes par))
+  let identical = String.equal (bytes seq) (bytes par) in
+  pf "merged results byte-identical to the sequential path: %b@." identical;
+  record ~unit_:"bool" "sweep.merged_identical" (if identical then 1.0 else 0.0);
+  record_info ~unit_:"x" "sweep.overlap" (if t_par > 0.0 then run_wall /. t_par else 1.0);
+  (* The runner's own observability: record the batch into the ambient
+     registry and surface shard utilization informationally. *)
+  Runner.Sweep.observe ~elapsed_s:t_par (Obs.ambient ()) outcomes
 
 (* --- Bechamel micro-benchmarks -------------------------------------------- *)
 
@@ -561,11 +653,34 @@ let sections =
     ("micro", micro);
   ]
 
+(* Simulator self-metrics per section: real wall time and the simulated
+   events executed on this domain (sweep-based sections run their
+   events in worker domains, so their count reflects only merge work —
+   still a useful canary for accidental main-domain simulation). All
+   informational: wall time is machine-dependent and never gated. *)
+let timed tag f =
+  let t0 = Unix.gettimeofday () in
+  let ev0 = Simkit.Engine.domain_events_processed () in
+  f ();
+  let wall = Unix.gettimeofday () -. t0 in
+  let events = Simkit.Engine.domain_events_processed () - ev0 in
+  record_info (Printf.sprintf "self.%s.wall_s" tag) wall;
+  record_info ~unit_:"events"
+    (Printf.sprintf "self.%s.sim_events" tag)
+    (float_of_int events);
+  if wall > 0.0 && events > 0 then
+    record_info ~unit_:"events/s"
+      (Printf.sprintf "self.%s.events_per_s" tag)
+      (float_of_int events /. wall)
+
 let () =
   let rec parse acc = function
     | [] -> List.rev acc
     | ("-j" | "--jobs") :: n :: rest ->
       jobs := max 1 (int_of_string n);
+      parse acc rest
+    | ("-o" | "--out") :: path :: rest ->
+      bench_out := path;
       parse acc rest
     | tag :: rest -> parse (tag :: acc) rest
   in
@@ -578,8 +693,9 @@ let () =
   List.iter
     (fun tag ->
       match List.assoc_opt tag sections with
-      | Some f -> f ()
+      | Some f -> timed tag f
       | None ->
         pf "unknown section %S (available: %s)@." tag
           (String.concat ", " (List.map fst sections)))
-    requested
+    requested;
+  write_bench_file ()

@@ -45,6 +45,48 @@ let jobs_arg =
     & info [ "j"; "jobs" ] ~docv:"N"
         ~doc:"Worker domains for parallel sweeps (1 = sequential)")
 
+(* --- metrics plane --------------------------------------------------------- *)
+
+let metrics_format_conv =
+  let parse s =
+    Result.map_error (fun e -> `Msg e) (Obs.Export.format_of_string s)
+  in
+  let print ppf (f : Obs.Export.format) =
+    Format.pp_print_string ppf
+      (match f with Json -> "json" | Csv -> "csv" | Prom -> "prom")
+  in
+  Arg.conv (parse, print)
+
+let metrics_arg =
+  Arg.(
+    value
+    & opt ~vopt:(Some Obs.Export.Json) (some metrics_format_conv) None
+    & info [ "metrics" ] ~docv:"FMT"
+        ~doc:
+          "After the run, print the collected metrics (engine, disk, VMM \
+           heap, page caches, request latencies) as $(docv): json \
+           (default), csv or prom")
+
+let metrics_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics-out" ] ~docv:"FILE"
+        ~doc:"Write the runner's sweep metrics as JSON to $(docv)")
+
+(* The export's [now] (for counter rates): the instrumented engine
+   publishes its clock as a gauge, so read it back from the registry. *)
+let registry_now reg =
+  match Obs.Registry.find reg "sim.engine.now_s" with
+  | Some (Obs.Registry.Gauge g) -> Obs.Metric.gauge_value g
+  | _ -> 0.0
+
+let print_metrics ~registry fmt =
+  Option.iter
+    (fun f ->
+      print_string (Obs.Export.render f ~now:(registry_now registry) registry))
+    fmt
+
 let write_file path contents =
   let oc = open_out path in
   output_string oc contents;
@@ -78,7 +120,7 @@ let export ~csv ~json (named : (string * Rejuv.Experiment.Result.t) list) =
           ^ String.concat ","
               (List.map
                  (fun (id, r) ->
-                   Rejuv.Jsonx.escape id ^ ":"
+                   Simkit.Jsonx.escape id ^ ":"
                    ^ Rejuv.Experiment.Result.to_json r)
                  named)
           ^ "}"

@@ -292,17 +292,21 @@ let run_cmd =
             "Shrink the run for CI: fault_matrix runs a single cell \
              (warm x xend.resume) instead of the full grid")
   in
-  let run verbose id smoke strategy workload csv json =
+  let run verbose id smoke strategy workload csv json metrics =
     setup_logs verbose;
+    (* Fresh ambient registry so --metrics reports this run only. *)
+    let registry = Obs.reset_ambient () in
     let params = { Spec.default_params with smoke; strategy; workload } in
     let r = run_spec id params in
     print_result id r;
-    Cli_args.export ~csv ~json [ (id, r) ]
+    Cli_args.export ~csv ~json [ (id, r) ];
+    Cli_args.print_metrics ~registry metrics
   in
   cmd "run" ~doc:"Run any registered experiment by id"
     Term.(
       const run $ verbose_arg $ id_arg $ smoke_arg $ Cli_args.strategy_arg
-      $ Cli_args.workload_arg $ Cli_args.csv_arg $ Cli_args.json_arg)
+      $ Cli_args.workload_arg $ Cli_args.csv_arg $ Cli_args.json_arg
+      $ Cli_args.metrics_arg)
 
 (* --- the parallel sweep ----------------------------------------------------- *)
 
@@ -344,8 +348,9 @@ let sweep_cmd =
       & info [ "metrics-only" ] ~doc:"Print runner metrics but not the data")
   in
   let run verbose ids jobs workload strategy cache_dir no_cache verify
-      quiet_results csv json =
+      quiet_results csv json metrics_out =
     setup_logs verbose;
+    let registry = Obs.reset_ambient () in
     let params = { Spec.default_params with workload; strategy } in
     let cache =
       if no_cache then None else Some (Runner.Cache.create ?dir:cache_dir ())
@@ -389,6 +394,15 @@ let sweep_cmd =
     if not quiet_results then
       List.iter (fun (id, r) -> print_result id r) ok;
     Cli_args.export ~csv ~json ok;
+    (* Runner-level observability: per-run wall-time histogram, cache
+       hit rate and shard utilization for this batch. (The simulations
+       themselves ran on worker domains, each with its own ambient
+       registry — their metrics are reachable via `run --metrics`.) *)
+    Option.iter
+      (fun path ->
+        Runner.Sweep.observe ~elapsed_s:elapsed registry outcomes;
+        Cli_args.write_file path (Obs.Export.to_json ~now:0.0 registry))
+      metrics_out;
     if faulted <> [] then exit 1
   in
   cmd "sweep"
@@ -399,7 +413,7 @@ let sweep_cmd =
       const run $ verbose_arg $ ids_arg $ Cli_args.jobs_arg
       $ Cli_args.workload_arg $ Cli_args.strategy_arg $ cache_dir_arg
       $ no_cache_arg $ verify_arg $ quiet_results_arg $ Cli_args.csv_arg
-      $ Cli_args.json_arg)
+      $ Cli_args.json_arg $ Cli_args.metrics_out_arg)
 
 let list_cmd =
   let run () =

@@ -129,6 +129,16 @@ let clear t =
 let resident_blocks_of t ~file =
   Hashtbl.fold (fun k _ acc -> if k.file = file then acc + 1 else acc) t.index 0
 
+(* Getter-based for the same reason as [Vmm_heap.observe]: a cold
+   reboot re-outfits the kernel with a fresh cache, and gauges should
+   keep reading the live one. *)
+let observe ?(prefix = "guest.page_cache") reg get =
+  let g field read = Obs.Registry.gauge reg (prefix ^ "." ^ field) read in
+  g "hits" (fun () -> float_of_int (hits (get ())));
+  g "misses" (fun () -> float_of_int (misses (get ())));
+  g "hit_ratio" (fun () -> hit_ratio (get ()));
+  g "resident_bytes" (fun () -> float_of_int (used_bytes (get ())))
+
 let check_invariants t =
   (* Walk the list forward, checking linkage and membership. *)
   let rec walk seen node =

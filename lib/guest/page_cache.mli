@@ -49,3 +49,9 @@ val resident_blocks_of : t -> file:int -> int
 
 val check_invariants : t -> (unit, string) result
 (** LRU list and index agree; size within capacity. For tests. *)
+
+val observe : ?prefix:string -> Obs.Registry.t -> (unit -> t) -> unit
+(** Register pull gauges (hits, misses, hit ratio, resident bytes)
+    under [prefix] (default ["guest.page_cache"]). The cache is fetched
+    through the getter on every read, so gauges follow a cache replaced
+    by a cold reboot. *)

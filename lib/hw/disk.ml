@@ -93,3 +93,17 @@ let release_space t ~bytes =
   if bytes < 0 || bytes > t.used then
     invalid_arg "Disk.release_space: bad size";
   t.used <- t.used - bytes
+
+let queue_depth t = Simkit.Resource.active_jobs t.spindle
+
+let observe ?(prefix = "hw.disk") reg t =
+  let g field read =
+    Obs.Registry.gauge reg
+      (prefix ^ "." ^ t.disk_name ^ "." ^ field)
+      read
+  in
+  g "bytes_read" (fun () -> float_of_int t.total_read);
+  g "bytes_written" (fun () -> float_of_int t.total_written);
+  g "busy_s" (fun () -> busy_time t);
+  g "queue_depth" (fun () -> float_of_int (queue_depth t));
+  g "space_used_bytes" (fun () -> float_of_int t.used)

@@ -65,3 +65,13 @@ val allocate_space : t -> bytes:int -> (unit, [ `Disk_full ]) result
 val release_space : t -> bytes:int -> unit
 (** Give space back (object deleted / image consumed by a restore).
     Raises [Invalid_argument] when releasing more than is used. *)
+
+(** {1 Observability} *)
+
+val queue_depth : t -> int
+(** Transfers currently queued or in flight on the spindle. *)
+
+val observe : ?prefix:string -> Obs.Registry.t -> t -> unit
+(** Register pull gauges (bytes read/written, busy seconds, queue
+    depth, space used) under ["<prefix>.<disk name>."] (default prefix
+    ["hw.disk"]). *)

@@ -8,6 +8,7 @@ type t = {
   mutable ok : int;
   mutable errors : int;
   events : Simkit.Series.Counter.t;
+  latency : Obs.Metric.Histogram.t;
   mutable completion_times : float list; (* newest first *)
 }
 
@@ -24,16 +25,21 @@ let create engine ?(name = "httperf") ?(connections = 10)
     ok = 0;
     errors = 0;
     events = Simkit.Series.Counter.create ~name ();
+    latency = Obs.Metric.Histogram.create ();
     completion_times = [];
   }
 
 let rec connection_loop t =
-  if t.running then
+  if t.running then begin
+    let issued_at = Simkit.Engine.now t.engine in
     t.request (fun success ->
         let now = Simkit.Engine.now t.engine in
         if success then begin
           t.ok <- t.ok + 1;
           Simkit.Series.Counter.record t.events ~time:now;
+          (* Latency of the successful attempt only: a retried request
+             restarts the clock after its backoff. *)
+          Obs.Metric.Histogram.observe t.latency (now -. issued_at);
           t.completion_times <- now :: t.completion_times;
           connection_loop t
         end
@@ -43,6 +49,7 @@ let rec connection_loop t =
             (Simkit.Engine.schedule t.engine ~delay:t.retry_backoff_s
                (fun () -> connection_loop t))
         end)
+  end
 
 let start t =
   if not t.running then begin
@@ -57,6 +64,15 @@ let stop t = t.running <- false
 let completed t = t.ok
 let failed t = t.errors
 let counter t = t.events
+let latency_histogram t = t.latency
+
+let observe ?(prefix = "netsim.httperf") reg t =
+  let p = prefix ^ "." ^ t.gen_name in
+  Obs.Registry.register reg (p ^ ".latency_s")
+    (Obs.Registry.Histogram t.latency);
+  Obs.Registry.gauge reg (p ^ ".completed") (fun () ->
+      float_of_int t.ok);
+  Obs.Registry.gauge reg (p ^ ".failed") (fun () -> float_of_int t.errors)
 
 let throughput_between t ~lo ~hi =
   Simkit.Series.Counter.rate_between t.events ~lo ~hi

@@ -29,6 +29,17 @@ val failed : t -> int
 val counter : t -> Simkit.Series.Counter.t
 (** Completion events; use [rate_series] for the throughput timeline. *)
 
+val latency_histogram : t -> Obs.Metric.Histogram.t
+(** Response-time distribution of successful requests (simulated
+    seconds from issue to completion; a retried request restarts the
+    clock after its backoff). Percentiles via
+    [Obs.Metric.Histogram.p95] etc. *)
+
+val observe : ?prefix:string -> Obs.Registry.t -> t -> unit
+(** Attach the latency histogram and completed/failed gauges under
+    ["<prefix>.<generator name>."] (default prefix
+    ["netsim.httperf"]). *)
+
 val throughput_between : t -> lo:float -> hi:float -> float
 (** Completed requests per second over a window. *)
 

@@ -1,0 +1,139 @@
+(* Counters re-use Simkit.Series.Counter: its O(1) streaming total and
+   last-window rate are exactly what the snapshot timeline samples. *)
+module Counter = Simkit.Series.Counter
+
+module Histogram = struct
+  type t = {
+    buckets_per_decade : int;
+    counts : (int, int) Hashtbl.t; (* bucket index -> observation count *)
+    mutable zero_count : int; (* observations <= 0 *)
+    mutable total : int;
+    mutable sum : float;
+    mutable min_v : float;
+    mutable max_v : float;
+  }
+
+  let create ?(buckets_per_decade = 20) () =
+    if buckets_per_decade <= 0 then
+      invalid_arg "Histogram.create: buckets_per_decade <= 0";
+    {
+      buckets_per_decade;
+      counts = Hashtbl.create 32;
+      zero_count = 0;
+      total = 0;
+      sum = 0.0;
+      min_v = Float.infinity;
+      max_v = Float.neg_infinity;
+    }
+
+  let buckets_per_decade t = t.buckets_per_decade
+
+  (* Bucket [i] covers [10^(i/bpd), 10^((i+1)/bpd)). The index is a
+     pure function of the value, so same observations in any order
+     always land in the same buckets. *)
+  let bucket_index t v =
+    int_of_float
+      (Float.floor (Float.log10 v *. float_of_int t.buckets_per_decade))
+
+  let bucket_lower t i =
+    Float.pow 10.0 (float_of_int i /. float_of_int t.buckets_per_decade)
+
+  let bucket_upper t i = bucket_lower t (i + 1)
+
+  (* Geometric midpoint: the representative value reported for every
+     observation that fell into bucket [i]. *)
+  let bucket_mid t i =
+    Float.pow 10.0
+      ((float_of_int i +. 0.5) /. float_of_int t.buckets_per_decade)
+
+  let observe t v =
+    if Float.is_nan v then invalid_arg "Histogram.observe: NaN";
+    t.total <- t.total + 1;
+    t.sum <- t.sum +. v;
+    if v < t.min_v then t.min_v <- v;
+    if v > t.max_v then t.max_v <- v;
+    if v > 0.0 then begin
+      let i = bucket_index t v in
+      let c = Option.value (Hashtbl.find_opt t.counts i) ~default:0 in
+      Hashtbl.replace t.counts i (c + 1)
+    end
+    else t.zero_count <- t.zero_count + 1
+
+  let count t = t.total
+  let sum t = t.sum
+  let min_value t = if t.total = 0 then None else Some t.min_v
+  let max_value t = if t.total = 0 then None else Some t.max_v
+
+  let mean t =
+    if t.total = 0 then None else Some (t.sum /. float_of_int t.total)
+
+  let buckets t =
+    Hashtbl.fold (fun i c acc -> (i, c) :: acc) t.counts []
+    |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
+
+  let quantile t ~p =
+    if p < 0.0 || p > 100.0 then
+      invalid_arg "Histogram.quantile: p outside [0, 100]";
+    if t.total = 0 then None
+    else begin
+      let rank =
+        Stdlib.max 1
+          (int_of_float
+             (Float.ceil (p /. 100.0 *. float_of_int t.total)))
+      in
+      let result =
+        if rank <= t.zero_count then 0.0
+        else begin
+          let remaining = ref (rank - t.zero_count) in
+          let answer = ref t.max_v in
+          (try
+             List.iter
+               (fun (i, c) ->
+                 remaining := !remaining - c;
+                 if !remaining <= 0 then begin
+                   answer := bucket_mid t i;
+                   raise Exit
+                 end)
+               (buckets t)
+           with Exit -> ());
+          !answer
+        end
+      in
+      (* Bucket midpoints can overshoot the true extremes; the exact
+         min/max are tracked, so clamp to them. *)
+      Some (Float.min t.max_v (Float.max t.min_v result))
+    end
+
+  let p50 t = quantile t ~p:50.0
+  let p95 t = quantile t ~p:95.0
+  let p99 t = quantile t ~p:99.0
+
+  let merge a b =
+    if a.buckets_per_decade <> b.buckets_per_decade then
+      invalid_arg "Histogram.merge: different buckets_per_decade";
+    let m = create ~buckets_per_decade:a.buckets_per_decade () in
+    let add_from src =
+      List.iter
+        (fun (i, c) ->
+          let cur = Option.value (Hashtbl.find_opt m.counts i) ~default:0 in
+          Hashtbl.replace m.counts i (cur + c))
+        (buckets src);
+      m.zero_count <- m.zero_count + src.zero_count;
+      m.total <- m.total + src.total;
+      m.sum <- m.sum +. src.sum;
+      if src.total > 0 then begin
+        if src.min_v < m.min_v then m.min_v <- src.min_v;
+        if src.max_v > m.max_v then m.max_v <- src.max_v
+      end
+    in
+    add_from a;
+    add_from b;
+    m
+end
+
+type gauge = { mutable read : unit -> float }
+
+let gauge_make read = { read }
+let gauge_const v = { read = (fun () -> v) }
+let gauge_value g = g.read ()
+let gauge_set g v = g.read <- (fun () -> v)

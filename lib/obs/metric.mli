@@ -1,0 +1,67 @@
+(** Metric instruments: counters, gauges and deterministic histograms.
+
+    Counters are {!Simkit.Series.Counter} values verbatim — the O(1)
+    streaming total and last-window rate make them cheap to sample from
+    the snapshot timeline. Histograms use logarithmic buckets whose
+    index is a pure function of the observed value, so the same
+    observations produce byte-identical exports regardless of order. *)
+
+module Counter = Simkit.Series.Counter
+
+module Histogram : sig
+  type t
+
+  val create : ?buckets_per_decade:int -> unit -> t
+  (** Log-bucketed histogram. [buckets_per_decade] (default 20, i.e.
+      ~12% relative bucket width) fixes the bucket geometry; merging
+      requires both sides to share it. Raises [Invalid_argument] when
+      not positive. *)
+
+  val observe : t -> float -> unit
+  (** Record one observation. Values [<= 0] are kept in a dedicated
+      underflow bucket (durations of zero happen); NaN raises. *)
+
+  val count : t -> int
+  val sum : t -> float
+
+  val mean : t -> float option
+  (** [None] when no observations have been recorded — callers never
+      have to guard against division by zero. *)
+
+  val min_value : t -> float option
+  val max_value : t -> float option
+
+  val quantile : t -> p:float -> float option
+  (** Bucket-midpoint quantile estimate, clamped to the exact observed
+      [min]/[max]. [None] on an empty histogram; raises
+      [Invalid_argument] when [p] is outside [0, 100]. *)
+
+  val p50 : t -> float option
+  val p95 : t -> float option
+  val p99 : t -> float option
+
+  val merge : t -> t -> t
+  (** Combine two histograms into a fresh one by adding bucket counts.
+      Associative and commutative; raises [Invalid_argument] on a
+      [buckets_per_decade] mismatch. *)
+
+  val buckets : t -> (int * int) list
+  (** Non-empty buckets as [(index, count)], sorted by index. Bucket
+      [i] covers [10^(i/bpd), 10^((i+1)/bpd)). *)
+
+  val buckets_per_decade : t -> int
+  val bucket_lower : t -> int -> float
+  val bucket_upper : t -> int -> float
+  val bucket_mid : t -> int -> float
+end
+
+type gauge
+(** A named read-out: either a pull callback over live simulation state
+    or a plain stored value. *)
+
+val gauge_make : (unit -> float) -> gauge
+val gauge_const : float -> gauge
+val gauge_value : gauge -> float
+
+val gauge_set : gauge -> float -> unit
+(** Replace the gauge's read-out with a constant. *)

@@ -1,0 +1,43 @@
+module Engine = Simkit.Engine
+
+type snapshot = { at : float; values : (string * float) list }
+
+type t = {
+  registry : Registry.t;
+  engine : Engine.t;
+  every_s : float;
+  until : float option;
+  mutable snaps : snapshot list; (* newest first *)
+  mutable stopped : bool;
+}
+
+let take t =
+  let at = Engine.now t.engine in
+  t.snaps <- { at; values = Registry.sample t.registry ~now:at } :: t.snaps
+
+(* Self-rescheduling sampler on the simulation clock. [until] bounds
+   the re-arming so a timeline never keeps an unbounded
+   [Engine.run] from draining. *)
+let rec arm t =
+  let next = Engine.now t.engine +. t.every_s in
+  let past_deadline =
+    match t.until with None -> false | Some u -> next > u
+  in
+  if not past_deadline then
+    ignore
+      (Engine.schedule t.engine ~delay:t.every_s (fun () ->
+           if not t.stopped then begin
+             take t;
+             arm t
+           end))
+
+let attach registry engine ~every_s ?until () =
+  if every_s <= 0.0 then invalid_arg "Timeline.attach: every_s <= 0";
+  let t = { registry; engine; every_s; until; snaps = []; stopped = false } in
+  take t;
+  arm t;
+  t
+
+let stop t = t.stopped <- true
+let every_s t = t.every_s
+let snapshots t = List.rev t.snaps

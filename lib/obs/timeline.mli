@@ -1,0 +1,27 @@
+(** Snapshot timeline: periodic registry samples on the {e simulation}
+    clock.
+
+    The sampler is an ordinary engine event that re-arms itself, so
+    snapshots land at deterministic virtual times — never wall-clock —
+    and replaying a seeded run reproduces the timeline exactly. *)
+
+type snapshot = { at : float; values : (string * float) list }
+
+type t
+
+val attach :
+  Registry.t -> Simkit.Engine.t -> every_s:float -> ?until:float -> unit -> t
+(** Sample immediately, then every [every_s] simulated seconds. With
+    [until] the sampler stops re-arming once the next sample would land
+    after that absolute time — pass it whenever the surrounding code
+    drains the engine with an unbounded [Engine.run], which would
+    otherwise never terminate. Raises [Invalid_argument] when
+    [every_s <= 0]. *)
+
+val stop : t -> unit
+(** Stop sampling; already-taken snapshots are kept. *)
+
+val snapshots : t -> snapshot list
+(** Oldest first. *)
+
+val every_s : t -> float

@@ -1,3 +1,5 @@
+module Jsonx = Simkit.Jsonx
+
 type reboot_run = {
   strategy : Strategy.t;
   vm_count : int;
@@ -279,6 +281,7 @@ let fig7 ~strategy () =
     | None -> k false
   in
   let load = Netsim.Httperf.create engine ~connections:4 ~request () in
+  Netsim.Httperf.observe (Obs.ambient ()) load;
   let prober =
     Netsim.Prober.create engine ~name:"web"
       ~is_up:(fun () -> Scenario.vm_is_up target_vm)
@@ -428,6 +431,7 @@ let fig8_web ~strategy () =
     | None -> k false
   in
   let load = Netsim.Httperf.create engine ~connections:10 ~request () in
+  Netsim.Httperf.observe (Obs.ambient ()) load;
   Netsim.Httperf.start load;
   let window = 20.0 in
   let epoch = Simkit.Engine.now engine in

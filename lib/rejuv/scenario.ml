@@ -128,6 +128,31 @@ let provision_vm t v k =
         outfit_vm t v;
         Guest.Kernel.boot v.vkernel (fun () -> k (Ok ())))
 
+(* --- observability -------------------------------------------------------
+
+   Components register through getters (kernel, hypervisor heap) so
+   gauges keep reading the live instance across reboots and quick
+   reloads. Successive scenarios re-register under the same names:
+   gauges follow the newest scenario, while counters and histograms
+   accumulate process-wide (see Obs.Registry). *)
+
+let observe reg t =
+  Obs.instrument_engine reg t.eng;
+  Hw.Disk.observe reg t.hw_host.Hw.Host.disk;
+  Xenvmm.Vmm_heap.observe reg (fun () -> Vmm.heap t.hypervisor);
+  List.iter
+    (fun v ->
+      Guest.Page_cache.observe
+        ~prefix:("guest.page_cache." ^ v.vname)
+        reg
+        (fun () -> Guest.Kernel.page_cache v.vkernel))
+    t.vm_list
+
+let attach_timeline ?(registry : Obs.Registry.t option) ?(every_s = 1.0) ?until
+    t =
+  let reg = match registry with Some r -> r | None -> Obs.ambient () in
+  Obs.Timeline.attach reg t.eng ~every_s ?until ()
+
 let create ?(calibration = Calibration.default) ?(seed = 42) ?engine ?plan
     ?(name_prefix = "") ?(driver_vm_count = 0) ~vm_count ~vm_mem_bytes
     ~workload () =
@@ -192,6 +217,7 @@ let create ?(calibration = Calibration.default) ?(seed = 42) ?engine ?plan
           ~vdriver:true (vm_count + i))
   in
   t.vm_list <- ordinary @ drivers;
+  observe (Obs.ambient ()) t;
   t
 
 let start t k =

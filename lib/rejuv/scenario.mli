@@ -96,3 +96,26 @@ val cancel_network_artifact : t -> unit
 
 val attach_probers : t -> ?interval_s:float -> unit -> Netsim.Prober.t list
 (** One started prober per VM, probing {!vm_is_up}. *)
+
+(** {1 Observability}
+
+    {!create} instruments every new scenario into the ambient
+    [Obs] registry: engine self-metrics, disk gauges, VMM heap gauges
+    and one gauge set per VM page cache. Gauges read through getters,
+    so they follow components rebuilt by reboots; when several
+    scenarios run in one process the newest registration wins. *)
+
+val observe : Obs.Registry.t -> t -> unit
+(** Re-register this scenario's components into [reg] (e.g. a fresh
+    registry created after {!create}). *)
+
+val attach_timeline :
+  ?registry:Obs.Registry.t ->
+  ?every_s:float ->
+  ?until:float ->
+  t ->
+  Obs.Timeline.t
+(** Periodic metric snapshots on this scenario's simulation clock
+    (default registry: ambient; default period 1 s). Pass [until]
+    whenever the run ends with an unbounded [Engine.run] — see
+    {!Obs.Timeline.attach}. *)

@@ -94,3 +94,35 @@ let run ?jobs ?cache ?codec ?(verify_isolation = false)
 
 let total_wall_s outcomes =
   List.fold_left (fun acc o -> acc +. o.metrics.wall_s) 0.0 outcomes
+
+let observe ?(prefix = "runner.sweep") ?elapsed_s reg outcomes =
+  let wall = Obs.Registry.histogram reg (prefix ^ ".run_wall_s") in
+  let fresh = ref 0 and cached = ref 0 and faulted = ref 0 in
+  let sim_events = ref 0 in
+  List.iter
+    (fun o ->
+      Obs.Metric.Histogram.observe wall o.metrics.wall_s;
+      sim_events := !sim_events + o.metrics.sim_events;
+      if o.metrics.cached then incr cached else incr fresh;
+      match o.value with Error _ -> incr faulted | Ok _ -> ())
+    outcomes;
+  let g field v = Obs.Registry.set_gauge reg (prefix ^ "." ^ field) v in
+  g "runs" (float_of_int (List.length outcomes));
+  g "cache_hits" (float_of_int !cached);
+  g "fresh_runs" (float_of_int !fresh);
+  g "faulted_runs" (float_of_int !faulted);
+  let hits_over_total =
+    let n = !cached + !fresh in
+    if n = 0 then 0.0 else float_of_int !cached /. float_of_int n
+  in
+  g "cache_hit_rate" hits_over_total;
+  g "sim_events" (float_of_int !sim_events);
+  g "total_wall_s" (total_wall_s outcomes);
+  Option.iter
+    (fun elapsed ->
+      g "elapsed_s" elapsed;
+      (* Sequential-equivalent cost over real elapsed time: how many
+         cores the batch kept busy on average. *)
+      if elapsed > 0.0 then
+        g "shard_utilization" (total_wall_s outcomes /. elapsed))
+    elapsed_s

@@ -62,3 +62,12 @@ val run :
 val total_wall_s : 'a outcome list -> float
 (** Sum of per-run wall clocks — the sequential-equivalent cost, to
     compare against the batch's elapsed time. *)
+
+val observe :
+  ?prefix:string -> ?elapsed_s:float -> Obs.Registry.t -> 'a outcome list -> unit
+(** Record a finished batch into [reg] under [prefix] (default
+    ["runner.sweep"]): a per-run wall-time histogram plus gauges for
+    run/cache-hit/fault counts, cache hit rate, simulated events and
+    total wall time. With [elapsed_s] (the batch's real elapsed time)
+    also records [shard_utilization] — average busy cores, i.e.
+    {!total_wall_s} / elapsed. *)

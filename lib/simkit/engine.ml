@@ -4,11 +4,18 @@ type t = {
   mutable clock : float;
   queue : handle Heap.t;
   mutable processed : int;
+  mutable scheduled : int;
   root_rng : Rng.t;
 }
 
 let create ?(seed = 42) () =
-  { clock = 0.0; queue = Heap.create (); processed = 0; root_rng = Rng.create seed }
+  {
+    clock = 0.0;
+    queue = Heap.create ();
+    processed = 0;
+    scheduled = 0;
+    root_rng = Rng.create seed;
+  }
 
 let now t = t.clock
 
@@ -21,6 +28,7 @@ let schedule_at t ~time action =
          t.clock);
   let h = { cancelled = false; action } in
   Heap.add t.queue ~key:time h;
+  t.scheduled <- t.scheduled + 1;
   h
 
 let schedule t ~delay action =
@@ -32,6 +40,8 @@ let cancel _t h = h.cancelled <- true
 let pending t = Heap.length t.queue
 
 let events_processed t = t.processed
+
+let events_scheduled t = t.scheduled
 
 (* Cumulative event count of every engine stepped on the current domain.
    Each domain owns its counter, so parallel sweep runners can attribute

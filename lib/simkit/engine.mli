@@ -40,6 +40,11 @@ val pending : t -> int
 val events_processed : t -> int
 (** Number of callbacks executed so far. *)
 
+val events_scheduled : t -> int
+(** Number of events ever enqueued (including cancelled ones). Together
+    with {!events_processed} and {!pending} this is the engine's
+    self-observability surface, sampled by the [Obs] metrics plane. *)
+
 val domain_events_processed : unit -> int
 (** Cumulative number of callbacks executed by {e every} engine stepped
     on the calling domain. Monotonic and domain-local: a parallel runner

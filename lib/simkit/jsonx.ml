@@ -1,0 +1,270 @@
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+  | Raw of string
+
+let escape_into buf s =
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"'
+
+let escape s =
+  let buf = Buffer.create (String.length s + 2) in
+  escape_into buf s;
+  Buffer.contents buf
+
+let float_repr f =
+  if Float.is_finite f then Printf.sprintf "%.12g" f else "null"
+
+let rec emit buf = function
+  | Null -> Buffer.add_string buf "null"
+  | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+  | Int i -> Buffer.add_string buf (string_of_int i)
+  | Float f -> Buffer.add_string buf (float_repr f)
+  | Str s -> escape_into buf s
+  | Raw s -> Buffer.add_string buf s
+  | Arr xs ->
+    Buffer.add_char buf '[';
+    List.iteri
+      (fun i x ->
+        if i > 0 then Buffer.add_char buf ',';
+        emit buf x)
+      xs;
+    Buffer.add_char buf ']'
+  | Obj fields ->
+    Buffer.add_char buf '{';
+    List.iteri
+      (fun i (k, v) ->
+        if i > 0 then Buffer.add_char buf ',';
+        escape_into buf k;
+        Buffer.add_char buf ':';
+        emit buf v)
+      fields;
+    Buffer.add_char buf '}'
+
+let to_string v =
+  let buf = Buffer.create 256 in
+  emit buf v;
+  Buffer.contents buf
+
+(* --- parsing --------------------------------------------------------------
+
+   A recursive-descent parser for the values this module emits (strict
+   JSON; no comments, no trailing commas). Numbers with a '.', 'e' or
+   'E' become [Float], the rest [Int]. [Raw] is never produced. *)
+
+exception Parse_error of string
+
+type cursor = { text : string; mutable pos : int }
+
+let parse_fail c msg =
+  raise (Parse_error (Printf.sprintf "at byte %d: %s" c.pos msg))
+
+let peek c = if c.pos < String.length c.text then Some c.text.[c.pos] else None
+
+let advance c = c.pos <- c.pos + 1
+
+let rec skip_ws c =
+  match peek c with
+  | Some (' ' | '\t' | '\n' | '\r') ->
+    advance c;
+    skip_ws c
+  | _ -> ()
+
+let expect c ch =
+  match peek c with
+  | Some k when k = ch -> advance c
+  | Some k -> parse_fail c (Printf.sprintf "expected %c, found %c" ch k)
+  | None -> parse_fail c (Printf.sprintf "expected %c, found end of input" ch)
+
+let literal c word value =
+  let n = String.length word in
+  if
+    c.pos + n <= String.length c.text
+    && String.sub c.text c.pos n = word
+  then begin
+    c.pos <- c.pos + n;
+    value
+  end
+  else parse_fail c (Printf.sprintf "expected %s" word)
+
+let parse_hex4 c =
+  let code = ref 0 in
+  for _ = 1 to 4 do
+    let d =
+      match peek c with
+      | Some ('0' .. '9' as ch) -> Char.code ch - Char.code '0'
+      | Some ('a' .. 'f' as ch) -> Char.code ch - Char.code 'a' + 10
+      | Some ('A' .. 'F' as ch) -> Char.code ch - Char.code 'A' + 10
+      | _ -> parse_fail c "bad \\u escape"
+    in
+    advance c;
+    code := (!code * 16) + d
+  done;
+  !code
+
+let parse_string c =
+  expect c '"';
+  let buf = Buffer.create 16 in
+  let rec go () =
+    match peek c with
+    | None -> parse_fail c "unterminated string"
+    | Some '"' -> advance c
+    | Some '\\' ->
+      advance c;
+      (match peek c with
+      | Some '"' -> Buffer.add_char buf '"'; advance c
+      | Some '\\' -> Buffer.add_char buf '\\'; advance c
+      | Some '/' -> Buffer.add_char buf '/'; advance c
+      | Some 'n' -> Buffer.add_char buf '\n'; advance c
+      | Some 'r' -> Buffer.add_char buf '\r'; advance c
+      | Some 't' -> Buffer.add_char buf '\t'; advance c
+      | Some 'b' -> Buffer.add_char buf '\b'; advance c
+      | Some 'f' -> Buffer.add_char buf '\012'; advance c
+      | Some 'u' ->
+        advance c;
+        let code = parse_hex4 c in
+        (* Escapes we emit are all < 0x20; decode the BMP generally as
+           UTF-8 so round-trips of foreign documents stay lossless. *)
+        if code < 0x80 then Buffer.add_char buf (Char.chr code)
+        else if code < 0x800 then begin
+          Buffer.add_char buf (Char.chr (0xC0 lor (code lsr 6)));
+          Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+        end
+        else begin
+          Buffer.add_char buf (Char.chr (0xE0 lor (code lsr 12)));
+          Buffer.add_char buf (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
+          Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+        end
+      | _ -> parse_fail c "bad escape");
+      go ()
+    | Some ch ->
+      Buffer.add_char buf ch;
+      advance c;
+      go ()
+  in
+  go ();
+  Buffer.contents buf
+
+let parse_number c =
+  let start = c.pos in
+  let is_num_char = function
+    | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+    | _ -> false
+  in
+  while (match peek c with Some ch -> is_num_char ch | None -> false) do
+    advance c
+  done;
+  let s = String.sub c.text start (c.pos - start) in
+  if String.exists (fun ch -> ch = '.' || ch = 'e' || ch = 'E') s then
+    match float_of_string_opt s with
+    | Some f -> Float f
+    | None -> parse_fail c (Printf.sprintf "bad number %S" s)
+  else
+    match int_of_string_opt s with
+    | Some i -> Int i
+    | None -> (
+      (* Integer syntax too large for an int still parses as a float. *)
+      match float_of_string_opt s with
+      | Some f -> Float f
+      | None -> parse_fail c (Printf.sprintf "bad number %S" s))
+
+let rec parse_value c =
+  skip_ws c;
+  match peek c with
+  | None -> parse_fail c "expected a value, found end of input"
+  | Some 'n' -> literal c "null" Null
+  | Some 't' -> literal c "true" (Bool true)
+  | Some 'f' -> literal c "false" (Bool false)
+  | Some '"' -> Str (parse_string c)
+  | Some '[' ->
+    advance c;
+    skip_ws c;
+    if peek c = Some ']' then begin
+      advance c;
+      Arr []
+    end
+    else
+      let rec elems acc =
+        let v = parse_value c in
+        skip_ws c;
+        match peek c with
+        | Some ',' ->
+          advance c;
+          elems (v :: acc)
+        | Some ']' ->
+          advance c;
+          List.rev (v :: acc)
+        | _ -> parse_fail c "expected , or ] in array"
+      in
+      Arr (elems [])
+  | Some '{' ->
+    advance c;
+    skip_ws c;
+    if peek c = Some '}' then begin
+      advance c;
+      Obj []
+    end
+    else
+      let field () =
+        skip_ws c;
+        let k = parse_string c in
+        skip_ws c;
+        expect c ':';
+        let v = parse_value c in
+        (k, v)
+      in
+      let rec fields acc =
+        let kv = field () in
+        skip_ws c;
+        match peek c with
+        | Some ',' ->
+          advance c;
+          fields (kv :: acc)
+        | Some '}' ->
+          advance c;
+          List.rev (kv :: acc)
+        | _ -> parse_fail c "expected , or } in object"
+      in
+      Obj (fields [])
+  | Some ('-' | '0' .. '9') -> parse_number c
+  | Some ch -> parse_fail c (Printf.sprintf "unexpected character %c" ch)
+
+let of_string s =
+  let c = { text = s; pos = 0 } in
+  match parse_value c with
+  | v ->
+    skip_ws c;
+    if c.pos <> String.length s then
+      Error (Printf.sprintf "trailing garbage at byte %d" c.pos)
+    else Ok v
+  | exception Parse_error msg -> Error msg
+
+(* --- tree accessors ------------------------------------------------------ *)
+
+let member key = function
+  | Obj fields -> List.assoc_opt key fields
+  | _ -> None
+
+let to_float_opt = function
+  | Float f -> Some f
+  | Int i -> Some (float_of_int i)
+  | _ -> None
+
+let to_string_opt = function Str s -> Some s | _ -> None

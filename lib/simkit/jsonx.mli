@@ -19,3 +19,17 @@ val to_string : t -> string
 
 val escape : string -> string
 (** The quoted, escaped JSON form of a string (including the quotes). *)
+
+val of_string : string -> (t, string) result
+(** Parse strict JSON back into a tree ([Raw] is never produced;
+    numbers containing ['.'], ['e'] or ['E'] become [Float], the rest
+    [Int]). The error is a human-readable message with a byte offset.
+    Used by [benchstat] to read baseline files back. *)
+
+val member : string -> t -> t option
+(** Field lookup on [Obj]; [None] on missing keys and non-objects. *)
+
+val to_float_opt : t -> float option
+(** [Float] or [Int] as a float; [None] otherwise. *)
+
+val to_string_opt : t -> string option

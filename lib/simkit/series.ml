@@ -32,17 +32,60 @@ let max_value t =
   | (_, v) :: _ -> Some (fold_values Float.max v t)
 
 module Counter = struct
-  type t = { counter_name : string; mutable events : float list; mutable count : int }
-  (* Timestamps newest-first. *)
+  type t = {
+    counter_name : string;
+    window : float;
+    mutable events : float list; (* timestamps, newest-first *)
+    mutable count : int;
+    (* Streaming per-window tally: [cur_*] is the window the latest
+       event fell into, [prev_*] the most recently closed one. Keeping
+       both makes the last-completed-window rate an O(1) read — metric
+       snapshots never rebuild the event list. *)
+    mutable cur_idx : int;
+    mutable cur_count : int;
+    mutable prev_idx : int;
+    mutable prev_count : int;
+  }
 
-  let create ?(name = "counter") () =
-    { counter_name = name; events = []; count = 0 }
+  let create ?(name = "counter") ?(window = 1.0) () =
+    if window <= 0.0 then invalid_arg "Counter.create: window <= 0";
+    {
+      counter_name = name;
+      window;
+      events = [];
+      count = 0;
+      cur_idx = 0;
+      cur_count = 0;
+      prev_idx = -1;
+      prev_count = 0;
+    }
+
+  let name t = t.counter_name
+  let window t = t.window
 
   let record t ~time =
     t.events <- time :: t.events;
-    t.count <- t.count + 1
+    t.count <- t.count + 1;
+    let idx = int_of_float (time /. t.window) in
+    if idx = t.cur_idx then t.cur_count <- t.cur_count + 1
+    else begin
+      t.prev_idx <- t.cur_idx;
+      t.prev_count <- t.cur_count;
+      t.cur_idx <- idx;
+      t.cur_count <- 1
+    end
 
   let total t = t.count
+
+  let last_window_rate t ~now =
+    let idx = int_of_float (now /. t.window) in
+    let count =
+      if idx = t.cur_idx then
+        if t.prev_idx = idx - 1 then t.prev_count else 0
+      else if t.cur_idx = idx - 1 then t.cur_count
+      else 0
+    in
+    float_of_int count /. t.window
 
   let rate_series t ~window ?until () =
     if window <= 0.0 then invalid_arg "Counter.rate_series: window <= 0";

@@ -27,11 +27,27 @@ val max_value : t -> float option
 module Counter : sig
   type nonrec t
 
-  val create : ?name:string -> unit -> t
+  val create : ?name:string -> ?window:float -> unit -> t
+  (** [window] (default 1 s, must be positive) sizes the streaming
+      buckets behind {!last_window_rate}. *)
+
+  val name : t -> string
+  val window : t -> float
+
   val record : t -> time:float -> unit
-  (** Note one event (e.g. one served request) at a timestamp. *)
+  (** Note one event (e.g. one served request) at a timestamp.
+      Timestamps must be non-decreasing for the streaming window
+      tally to be meaningful (simulated time always is). *)
 
   val total : t -> int
+  (** Events recorded so far. O(1). *)
+
+  val last_window_rate : t -> now:float -> float
+  (** Events per second over the last {e completed} [window]-sized
+      bucket before [now] (buckets are aligned to multiples of
+      [window]). O(1) — unlike {!rate_series}, nothing is rebuilt —
+      which is what the metrics plane samples on every snapshot. A
+      bucket with no events reads 0. *)
 
   val rate_series : t -> window:float -> ?until:float -> unit -> (float * float) list
   (** Events per second in consecutive windows of [window] seconds,

@@ -23,36 +23,47 @@ let variance xs =
 
 let stddev xs = sqrt (variance xs)
 
-let summarize xs =
+let summarize_opt xs =
   match xs with
-  | [] -> invalid_arg "Stat.summarize: empty sample"
+  | [] -> None
   | x :: rest ->
     let min_v = List.fold_left Float.min x rest in
     let max_v = List.fold_left Float.max x rest in
-    {
-      count = List.length xs;
-      mean = mean xs;
-      stddev = stddev xs;
-      min = min_v;
-      max = max_v;
-    }
+    Some
+      {
+        count = List.length xs;
+        mean = mean xs;
+        stddev = stddev xs;
+        min = min_v;
+        max = max_v;
+      }
 
-let percentile xs ~p =
+let summarize xs =
+  match summarize_opt xs with
+  | Some s -> s
+  | None -> invalid_arg "Stat.summarize: empty sample"
+
+let percentile_opt xs ~p =
+  if p < 0.0 || p > 100.0 then
+    invalid_arg "Stat.percentile: p outside [0, 100]";
   match xs with
-  | [] -> invalid_arg "Stat.percentile: empty sample"
+  | [] -> None
   | _ ->
-    if p < 0.0 || p > 100.0 then
-      invalid_arg "Stat.percentile: p outside [0, 100]";
     let sorted = List.sort Float.compare xs in
     let arr = Array.of_list sorted in
     let n = Array.length arr in
     let rank = p /. 100.0 *. float_of_int (n - 1) in
     let lo = int_of_float (Float.floor rank) in
     let hi = int_of_float (Float.ceil rank) in
-    if lo = hi then arr.(lo)
+    if lo = hi then Some arr.(lo)
     else
       let frac = rank -. float_of_int lo in
-      arr.(lo) +. (frac *. (arr.(hi) -. arr.(lo)))
+      Some (arr.(lo) +. (frac *. (arr.(hi) -. arr.(lo))))
+
+let percentile xs ~p =
+  match percentile_opt xs ~p with
+  | Some v -> v
+  | None -> invalid_arg "Stat.percentile: empty sample"
 
 type linear = { slope : float; intercept : float; r2 : float }
 

@@ -14,12 +14,21 @@ type summary = {
 val summarize : float list -> summary
 (** Summary of a non-empty sample. Raises [Invalid_argument] on []. *)
 
+val summarize_opt : float list -> summary option
+(** Total variant of {!summarize}: [None] on the empty sample. Metric
+    exporters use it so a zero-sample histogram renders as nulls
+    instead of aborting the run. *)
+
 val mean : float list -> float
 val stddev : float list -> float
 
 val percentile : float list -> p:float -> float
 (** [percentile xs ~p] with [p] in [\[0, 100\]], linear interpolation
     between closest ranks. Raises [Invalid_argument] on []. *)
+
+val percentile_opt : float list -> p:float -> float option
+(** Total variant of {!percentile}: [None] on the empty sample. Still
+    raises [Invalid_argument] when [p] is outside [\[0, 100\]]. *)
 
 type linear = { slope : float; intercept : float; r2 : float }
 (** A fitted line [y = slope * x + intercept] with its coefficient of

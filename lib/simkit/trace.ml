@@ -12,6 +12,8 @@ type t = {
 
 let create engine = { engine; all_spans = []; marks = [] }
 
+let engine t = t.engine
+
 let begin_span t label =
   let s = { label; start = Engine.now t.engine; stop = None } in
   t.all_spans <- s :: t.all_spans;

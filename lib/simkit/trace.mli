@@ -10,6 +10,9 @@ type span
 
 val create : Engine.t -> t
 
+val engine : t -> Engine.t
+(** The engine whose clock timestamps this trace. *)
+
 val begin_span : t -> string -> span
 (** Opens a named interval starting now. *)
 

@@ -8,6 +8,7 @@ type t = {
   capacity : int;
   mutable used : int;
   mutable leaked : int;
+  mutable leak_events : int;
   mutable by_tag : (string, int) Hashtbl.t;
   mutable exhaustion_callbacks : (unit -> unit) list;
   mutable exhaustion_reported : bool;
@@ -21,6 +22,7 @@ let create ?(capacity_bytes = default_capacity_bytes) () =
     capacity = capacity_bytes;
     used = 0;
     leaked = 0;
+    leak_events = 0;
     by_tag = Hashtbl.create 16;
     exhaustion_callbacks = [];
     exhaustion_reported = false;
@@ -73,7 +75,10 @@ let leak t ~bytes =
   if bytes < 0 then invalid_arg "Vmm_heap.leak: negative size";
   let actual = Stdlib.min bytes (free_bytes t) in
   t.leaked <- t.leaked + actual;
+  t.leak_events <- t.leak_events + 1;
   note_exhaustion t
+
+let leak_events t = t.leak_events
 
 let usage_by_tag t =
   Hashtbl.fold (fun tag bytes acc -> (tag, bytes) :: acc) t.by_tag []
@@ -81,3 +86,14 @@ let usage_by_tag t =
 
 let on_exhaustion t f =
   t.exhaustion_callbacks <- f :: t.exhaustion_callbacks
+
+(* Takes a getter, not the heap itself: a quick reload rebuilds the
+   heap, and gauges registered through the getter keep reading the
+   current instance. *)
+let observe ?(prefix = "vmm.heap") reg get =
+  let g field read = Obs.Registry.gauge reg (prefix ^ "." ^ field) read in
+  g "capacity_bytes" (fun () -> float_of_int (capacity_bytes (get ())));
+  g "used_bytes" (fun () -> float_of_int (used_bytes (get ())));
+  g "free_bytes" (fun () -> float_of_int (free_bytes (get ())));
+  g "leaked_bytes" (fun () -> float_of_int (leaked_bytes (get ())));
+  g "leak_events" (fun () -> float_of_int (get ()).leak_events)

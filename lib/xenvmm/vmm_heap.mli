@@ -45,4 +45,13 @@ val usage_by_tag : t -> (string * int) list
 val on_exhaustion : t -> (unit -> unit) -> unit
 (** Called once each time free space first reaches zero. *)
 
+val leak_events : t -> int
+(** Number of {!leak} calls — how many aging events hit this heap. *)
+
+val observe : ?prefix:string -> Obs.Registry.t -> (unit -> t) -> unit
+(** Register pull gauges (capacity/used/free/leaked bytes, leak event
+    count) under [prefix] (default ["vmm.heap"]). The heap is fetched
+    through the getter on every read, so gauges follow a heap rebuilt
+    by a reboot or quick reload. *)
+
 val exhausted : t -> bool

@@ -1,0 +1,191 @@
+module Jsonx = Simkit.Jsonx
+
+(* A bench file is {"schema":"roothammer-bench/1","metrics":{name:
+   {"value":v,"unit":u,"tolerance_pct":t|null}}}. [tolerance_pct] is a
+   property of the *baseline*: it states how far a new measurement may
+   drift before the gate fails; [null] marks an informational metric
+   (wall times, event rates) that is reported but never gated. *)
+
+let schema = "roothammer-bench/1"
+
+type metric = {
+  value : float;
+  unit_ : string;
+  tolerance_pct : float option;
+}
+
+type file = { metrics : (string * metric) list (* sorted by name *) }
+
+let default_tolerance_pct = 5.0
+
+(* --- emit ---------------------------------------------------------------- *)
+
+let to_json (f : file) =
+  let metric_json (m : metric) =
+    Jsonx.Obj
+      [
+        ("value", Jsonx.Float m.value);
+        ("unit", Jsonx.Str m.unit_);
+        ( "tolerance_pct",
+          match m.tolerance_pct with
+          | None -> Jsonx.Null
+          | Some t -> Jsonx.Float t );
+      ]
+  in
+  Jsonx.to_string
+    (Jsonx.Obj
+       [
+         ("schema", Jsonx.Str schema);
+         ( "metrics",
+           Jsonx.Obj
+             (List.map
+                (fun (name, m) -> (name, metric_json m))
+                (List.sort
+                   (fun (a, _) (b, _) -> String.compare a b)
+                   f.metrics)) );
+       ])
+
+(* --- parse --------------------------------------------------------------- *)
+
+let parse_metric name v =
+  match
+    ( Option.bind (Jsonx.member "value" v) Jsonx.to_float_opt,
+      Option.bind (Jsonx.member "unit" v) Jsonx.to_string_opt )
+  with
+  | Some value, Some unit_ ->
+    let tolerance_pct =
+      Option.bind (Jsonx.member "tolerance_pct" v) Jsonx.to_float_opt
+    in
+    Ok (name, { value; unit_; tolerance_pct })
+  | _ -> Error (Printf.sprintf "metric %S: missing value or unit" name)
+
+let of_json text =
+  match Jsonx.of_string text with
+  | Error e -> Error ("invalid JSON: " ^ e)
+  | Ok root -> (
+    (match Option.bind (Jsonx.member "schema" root) Jsonx.to_string_opt with
+    | Some s when s = schema -> Ok ()
+    | Some s -> Error (Printf.sprintf "unsupported schema %S" s)
+    | None -> Error "missing \"schema\" field")
+    |> function
+    | Error _ as e -> e
+    | Ok () -> (
+      match Jsonx.member "metrics" root with
+      | Some (Jsonx.Obj fields) ->
+        let rec collect acc = function
+          | [] ->
+            Ok
+              {
+                metrics =
+                  List.sort (fun (a, _) (b, _) -> String.compare a b)
+                    (List.rev acc);
+              }
+          | (name, v) :: rest -> (
+            match parse_metric name v with
+            | Ok m -> collect (m :: acc) rest
+            | Error _ as e -> e)
+        in
+        collect [] fields
+      | _ -> Error "missing \"metrics\" object"))
+
+(* --- compare ------------------------------------------------------------- *)
+
+type verdict =
+  | Within of float (* drift in percent *)
+  | Regressed of { drift_pct : float; tolerance_pct : float }
+  | Informational of float
+  | Missing_in_new
+  | New_metric
+
+type comparison = { name : string; verdict : verdict }
+
+let drift_pct ~old_v ~new_v =
+  if old_v = 0.0 then if new_v = 0.0 then 0.0 else Float.infinity
+  else (new_v -. old_v) /. Float.abs old_v *. 100.0
+
+let compare_metric (old_m : metric) (new_m : metric) =
+  let d = drift_pct ~old_v:old_m.value ~new_v:new_m.value in
+  match old_m.tolerance_pct with
+  | None -> Informational d
+  | Some tol ->
+    if Float.abs d <= tol then Within d
+    else Regressed { drift_pct = d; tolerance_pct = tol }
+
+let compare_files (old_f : file) (new_f : file) =
+  let in_new = Hashtbl.create 64 in
+  List.iter (fun (name, m) -> Hashtbl.replace in_new name m) new_f.metrics;
+  let seen = Hashtbl.create 64 in
+  let of_old =
+    List.map
+      (fun (name, old_m) ->
+        Hashtbl.replace seen name ();
+        match Hashtbl.find_opt in_new name with
+        | None -> { name; verdict = Missing_in_new }
+        | Some new_m -> { name; verdict = compare_metric old_m new_m })
+      old_f.metrics
+  in
+  let fresh =
+    List.filter_map
+      (fun (name, _) ->
+        if Hashtbl.mem seen name then None
+        else Some { name; verdict = New_metric })
+      new_f.metrics
+  in
+  List.sort (fun a b -> String.compare a.name b.name) (of_old @ fresh)
+
+let gated_count comparisons =
+  List.length
+    (List.filter
+       (fun c ->
+         match c.verdict with
+         | Within _ | Regressed _ -> true
+         | Informational _ | Missing_in_new | New_metric -> false)
+       comparisons)
+
+let failures comparisons =
+  List.filter
+    (fun c ->
+      match c.verdict with
+      | Regressed _ | Missing_in_new -> true
+      | Within _ | Informational _ | New_metric -> false)
+    comparisons
+
+(* --- report -------------------------------------------------------------- *)
+
+let pp_verdict ppf = function
+  | Within d -> Format.fprintf ppf "ok      %+.2f%%" d
+  | Regressed { drift_pct; tolerance_pct } ->
+    Format.fprintf ppf "FAIL    %+.2f%% (tolerance %.1f%%)" drift_pct
+      tolerance_pct
+  | Informational d -> Format.fprintf ppf "info    %+.2f%%" d
+  | Missing_in_new -> Format.fprintf ppf "FAIL    missing in new file"
+  | New_metric -> Format.fprintf ppf "new     (not in baseline)"
+
+let pp_report ppf comparisons =
+  List.iter
+    (fun c -> Format.fprintf ppf "%-48s %a@." c.name pp_verdict c.verdict)
+    comparisons
+
+(* Exit-code semantics live here so main.ml stays a thin shell:
+   Ok () = gate passed; Error = human-readable reason. An empty
+   intersection fails: comparing disjoint files means someone renamed
+   the metrics and the gate would otherwise silently pass forever. *)
+let check ~old_text ~new_text =
+  match (of_json old_text, of_json new_text) with
+  | Error e, _ -> Error ("baseline: " ^ e)
+  | _, Error e -> Error ("new file: " ^ e)
+  | Ok old_f, Ok new_f ->
+    let comparisons = compare_files old_f new_f in
+    let compared =
+      List.exists
+        (fun c ->
+          match c.verdict with
+          | Within _ | Regressed _ | Informational _ -> true
+          | Missing_in_new | New_metric -> false)
+        comparisons
+    in
+    if not compared then
+      Error "no metric appears in both files; nothing was compared"
+    else
+      let fails = failures comparisons in
+      if fails = [] then Ok comparisons else Error (Format.asprintf "%d metric(s) regressed:@.%a" (List.length fails) pp_report fails)

@@ -1,0 +1,51 @@
+(** Bench baseline comparison: parse [roothammer-bench/1] files and
+    gate a new measurement against a committed baseline.
+
+    Tolerances are read from the {e baseline}: each metric carries a
+    [tolerance_pct] band, or [null] to mark it informational (wall
+    times, event rates — machine-dependent numbers that are reported
+    but never gated). *)
+
+val schema : string
+(** ["roothammer-bench/1"]. *)
+
+type metric = {
+  value : float;
+  unit_ : string;
+  tolerance_pct : float option;  (** [None] = informational *)
+}
+
+type file = { metrics : (string * metric) list }
+
+val default_tolerance_pct : float
+(** 5% — the band writers use for headline simulation outputs. *)
+
+val to_json : file -> string
+(** Canonical rendering: metrics sorted by name. *)
+
+val of_json : string -> (file, string) result
+
+type verdict =
+  | Within of float  (** drift in percent of the baseline value *)
+  | Regressed of { drift_pct : float; tolerance_pct : float }
+  | Informational of float
+  | Missing_in_new  (** baseline metric absent from the new file — a failure *)
+  | New_metric  (** new metric absent from the baseline — allowed *)
+
+type comparison = { name : string; verdict : verdict }
+
+val compare_files : file -> file -> comparison list
+(** One comparison per metric in either file, sorted by name. *)
+
+val gated_count : comparison list -> int
+(** How many metrics were actually held to a tolerance band. *)
+
+val failures : comparison list -> comparison list
+
+val pp_report : Format.formatter -> comparison list -> unit
+
+val check : old_text:string -> new_text:string -> (comparison list, string) result
+(** The whole gate: parse both files, compare, fail on any regression,
+    on a baseline metric missing from the new file, or when no metric
+    appears in both files (renaming every metric must not silently
+    disarm the gate). The error string is a printable report. *)

@@ -1,0 +1,33 @@
+(* benchstat --check OLD NEW: compare a bench result file against a
+   committed baseline; exit 1 on regression. *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let usage () =
+  prerr_endline "usage: benchstat --check BASELINE.json NEW.json";
+  exit 2
+
+let () =
+  match Array.to_list Sys.argv with
+  | [ _; "--check"; old_path; new_path ] -> (
+    let read path =
+      try read_file path
+      with Sys_error e ->
+        Printf.eprintf "benchstat: %s\n" e;
+        exit 2
+    in
+    let old_text = read old_path and new_text = read new_path in
+    match Benchstat.Check.check ~old_text ~new_text with
+    | Ok comparisons ->
+      Format.printf "%a" Benchstat.Check.pp_report comparisons;
+      Format.printf "benchstat: OK — %d gated metric(s) within tolerance@."
+        (Benchstat.Check.gated_count comparisons)
+    | Error reason ->
+      Format.eprintf "benchstat: %s@." reason;
+      exit 1)
+  | _ -> usage ()

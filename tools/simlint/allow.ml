@@ -35,6 +35,11 @@ let entries =
       reason = "per-domain event counters live in Domain.DLS";
     };
     {
+      rule = "D004";
+      prefix = "lib/obs/obs.ml";
+      reason = "ambient registry is Domain.DLS so sweep workers never share state";
+    };
+    {
       rule = "D002";
       prefix = "lib/simkit/rng.ml";
       reason = "the one sanctioned RNG; everything else draws through it";

@@ -21,7 +21,7 @@ let pp_finding f =
   Printf.sprintf "%s:%d:%d: %s %s" f.file f.line f.col f.rule f.message
 
 let finding_to_jsonx (f : finding) =
-  Rejuv.Jsonx.(
+  Simkit.Jsonx.(
     Obj
       [
         ("file", Str f.file);
@@ -32,7 +32,7 @@ let finding_to_jsonx (f : finding) =
       ])
 
 let to_json findings =
-  Rejuv.Jsonx.(
+  Simkit.Jsonx.(
     to_string
       (Obj
          [

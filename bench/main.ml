@@ -5,7 +5,7 @@
 
    Usage: main.exe [-j N] [tag ...] where tag is one of
    fig4 fig5 reload fig6a fig6b avail fig7 fig8a fig8b fits policy fig9
-   migration ablation faults sweep micro. No tags = everything. The swept
+   migration ablation faults sweep eventcore micro. No tags = everything. The swept
    figures (fig4/fig5/fig6) run their points through the parallel sweep
    runner on N domains (default: the machine's). *)
 
@@ -22,12 +22,12 @@ let jobs = ref (Runner.Pool.default_jobs ())
 
    Each section records its headline numbers; the driver adds simulator
    self-metrics (wall time, events, events/s) per section and writes the
-   whole batch as a roothammer-bench/1 file (default BENCH_PR4.json).
+   whole batch as a roothammer-bench/1 file (default BENCH_PR5.json).
    Simulation outputs get a tolerance band and are gated by
    `benchstat --check` against the committed BENCH_BASELINE.json;
    timing self-metrics are informational (tolerance null). *)
 
-let bench_out = ref "BENCH_PR4.json"
+let bench_out = ref "BENCH_PR5.json"
 let bench_metrics : (string * Benchstat.Check.metric) list ref = ref []
 
 let record ?(unit_ = "s")
@@ -546,6 +546,132 @@ let sweep () =
      registry and surface shard utilization informationally. *)
   Runner.Sweep.observe ~elapsed_s:t_par (Obs.ambient ()) outcomes
 
+(* --- Event-core microbenchmark --------------------------------------------
+
+   Events/sec of the engine's event queue under the two workload shapes
+   that motivated the calendar queue + tombstone compaction: a
+   cancel-heavy synthetic (the timeout idiom — schedule a far-future
+   timeout, cancel it almost immediately — that used to drown the heap
+   in tombstones) and an httperf-style closed loop. Wall-clock numbers
+   are informational; the gates are shape facts that hold on any
+   machine: compaction must make the cancel-heavy workload at least 2x
+   faster than the uncompacted heap, and both backends must agree
+   byte-for-byte on the httperf results. *)
+
+let cancel_heavy_iters = 300_000
+let cancel_heavy_actors = 64
+
+(* Each round: one far-future timeout (cancelled 10 ms later, so it
+   always dies a tombstone) plus one work event that re-arms the actor.
+   Sim time stays well short of the 1000 s timeouts, so with compaction
+   [`Off] every cancelled handle lingers in the queue until the final
+   drain. *)
+let run_cancel_heavy ~queue ~compaction () =
+  let e = Simkit.Engine.create ~queue ~compaction () in
+  let remaining = ref cancel_heavy_iters in
+  let rec arm () =
+    if !remaining > 0 then begin
+      decr remaining;
+      let timeout = Simkit.Engine.schedule e ~delay:1000.0 (fun () -> ()) in
+      ignore
+        (Simkit.Engine.schedule e ~delay:0.01 (fun () ->
+             Simkit.Engine.cancel e timeout;
+             arm ()))
+    end
+  in
+  for _ = 1 to cancel_heavy_actors do
+    arm ()
+  done;
+  Simkit.Engine.run e;
+  e
+
+let httperf_heavy_horizon_s = 600.0
+
+let run_httperf_heavy ~queue () =
+  let e = Simkit.Engine.create ~queue () in
+  let rng = Simkit.Rng.create 7 in
+  let gen =
+    Netsim.Httperf.create e ~name:"bench" ~connections:32
+      ~request:(fun k ->
+        let latency = 0.002 +. Simkit.Rng.float rng 0.05 in
+        ignore (Simkit.Engine.schedule e ~delay:latency (fun () -> k true)))
+      ()
+  in
+  Netsim.Httperf.start gen;
+  Simkit.Engine.run ~until:httperf_heavy_horizon_s e;
+  Netsim.Httperf.stop gen;
+  (e, gen)
+
+let wall_of f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (r, Unix.gettimeofday () -. t0)
+
+let eventcore () =
+  header "Event core (events/sec by queue backend and compaction)";
+  let variants =
+    [
+      ("heap_off", Simkit.Eventq.Heap, `Off);
+      ("heap_auto", Simkit.Eventq.Heap, `Auto);
+      ("calendar_auto", Simkit.Eventq.Calendar, `Auto);
+    ]
+  in
+  pf "cancel-heavy synthetic: %d rounds, %d actors@." cancel_heavy_iters
+    cancel_heavy_actors;
+  let rates =
+    List.map
+      (fun (tag, queue, compaction) ->
+        let e, wall = wall_of (run_cancel_heavy ~queue ~compaction) in
+        let events = Simkit.Engine.events_scheduled e in
+        let rate = float_of_int events /. Float.max wall 1e-9 in
+        let s = Simkit.Engine.queue_stats e in
+        pf
+          "  %-14s %8.2f s  %9.0f events/s  (%d compactions, %d resizes)@."
+          tag wall rate s.Simkit.Engine.qs_compactions
+          s.Simkit.Engine.qs_resizes;
+        record_info ~unit_:"events/s"
+          (Printf.sprintf "eventcore.cancel_heavy.%s.events_per_s" tag)
+          rate;
+        (tag, rate))
+      variants
+  in
+  let rate tag = List.assoc tag rates in
+  let speedup = rate "calendar_auto" /. rate "heap_off" in
+  pf "  calendar+compaction vs uncompacted heap: %.2fx@." speedup;
+  record_info ~unit_:"x" "eventcore.cancel_heavy.speedup_x" speedup;
+  (* The ISSUE's acceptance gate, as a machine-independent boolean. *)
+  record ~unit_:"bool" ~tolerance_pct:(Some 0.0)
+    "eventcore.cancel_heavy.speedup_ge_2x"
+    (if speedup >= 2.0 then 1.0 else 0.0);
+  pf "httperf-heavy closed loop: 32 connections, %.0f s horizon@."
+    httperf_heavy_horizon_s;
+  let runs =
+    List.map
+      (fun (tag, queue) ->
+        let (e, gen), wall = wall_of (run_httperf_heavy ~queue) in
+        let events = Simkit.Engine.events_processed e in
+        let rate = float_of_int events /. Float.max wall 1e-9 in
+        pf "  %-14s %8.2f s  %9.0f events/s  (%d requests)@." tag wall rate
+          (Netsim.Httperf.completed gen);
+        record_info ~unit_:"events/s"
+          (Printf.sprintf "eventcore.httperf.%s.events_per_s" tag)
+          rate;
+        (tag, gen))
+      [ ("heap", Simkit.Eventq.Heap); ("calendar", Simkit.Eventq.Calendar) ]
+  in
+  let summary gen =
+    ( Netsim.Httperf.completed gen,
+      Netsim.Httperf.failed gen,
+      Netsim.Httperf.mean_window_throughput gen ~every:50 )
+  in
+  let agree =
+    summary (List.assoc "heap" runs) = summary (List.assoc "calendar" runs)
+  in
+  pf "  backends agree on completions and throughput windows: %b@." agree;
+  record ~unit_:"bool" ~tolerance_pct:(Some 0.0)
+    "eventcore.httperf.backends_agree"
+    (if agree then 1.0 else 0.0)
+
 (* --- Bechamel micro-benchmarks -------------------------------------------- *)
 
 let micro () =
@@ -650,7 +776,7 @@ let sections =
     ("fig8b", fig8b); ("fits", fits); ("policy", policy); ("fig9", fig9);
     ("migration", migration); ("ablation", ablation); ("cluster", cluster);
     ("sensitivity", sensitivity); ("faults", faults); ("sweep", sweep);
-    ("micro", micro);
+    ("eventcore", eventcore); ("micro", micro);
   ]
 
 (* Simulator self-metrics per section: real wall time and the simulated

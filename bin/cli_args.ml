@@ -38,6 +38,21 @@ let json_arg =
     & info [ "json" ] ~docv:"FILE"
         ~doc:"Also write the data as JSON to $(docv)")
 
+let queue_conv =
+  let print ppf b =
+    Format.pp_print_string ppf (Simkit.Eventq.backend_name b)
+  in
+  Arg.conv (Simkit.Eventq.backend_of_string, print)
+
+let queue_arg =
+  Arg.(
+    value
+    & opt (some queue_conv) None
+    & info [ "queue" ] ~docv:"BACKEND"
+        ~doc:
+          "Event-queue backend: calendar (default) or heap. Results are \
+           byte-identical either way; this only affects engine speed.")
+
 let jobs_arg =
   Arg.(
     value

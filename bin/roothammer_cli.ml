@@ -292,8 +292,9 @@ let run_cmd =
             "Shrink the run for CI: fault_matrix runs a single cell \
              (warm x xend.resume) instead of the full grid")
   in
-  let run verbose id smoke strategy workload csv json metrics =
+  let run verbose id smoke queue strategy workload csv json metrics =
     setup_logs verbose;
+    Option.iter Simkit.Engine.set_default_queue queue;
     (* Fresh ambient registry so --metrics reports this run only. *)
     let registry = Obs.reset_ambient () in
     let params = { Spec.default_params with smoke; strategy; workload } in
@@ -304,9 +305,9 @@ let run_cmd =
   in
   cmd "run" ~doc:"Run any registered experiment by id"
     Term.(
-      const run $ verbose_arg $ id_arg $ smoke_arg $ Cli_args.strategy_arg
-      $ Cli_args.workload_arg $ Cli_args.csv_arg $ Cli_args.json_arg
-      $ Cli_args.metrics_arg)
+      const run $ verbose_arg $ id_arg $ smoke_arg $ Cli_args.queue_arg
+      $ Cli_args.strategy_arg $ Cli_args.workload_arg $ Cli_args.csv_arg
+      $ Cli_args.json_arg $ Cli_args.metrics_arg)
 
 (* --- the parallel sweep ----------------------------------------------------- *)
 

@@ -98,14 +98,20 @@ let reserve t e =
     Error
       (Format.asprintf "Frame.reserve: %a out of range" pp_extent e)
   else begin
-    (* Find the free extent fully containing [e]. *)
+    (* Find the free extent fully containing [e]. The free list is
+       sorted and coalesced, so the only candidate is the last extent
+       starting at or before [e.first]: once [cur.first] passes it we
+       can fail without walking the rest, and an extent that contains
+       [e.first] but ends short cannot be continued by a neighbour. *)
+    let not_free =
+      Error (Format.asprintf "Frame.reserve: %a not entirely free" pp_extent e)
+    in
     let rec go acc = function
-      | [] ->
-        Error
-          (Format.asprintf "Frame.reserve: %a not entirely free" pp_extent e)
+      | [] -> not_free
       | cur :: rest ->
-        if cur.first <= e.first && e.first + e.count <= cur.first + cur.count
-        then begin
+        if cur.first > e.first then not_free
+        else if cur.first + cur.count <= e.first then go (cur :: acc) rest
+        else if e.first + e.count <= cur.first + cur.count then begin
           let before =
             if cur.first < e.first then
               [ { first = cur.first; count = e.first - cur.first } ]
@@ -122,13 +128,20 @@ let reserve t e =
           t.free_count <- t.free_count - e.count;
           Ok ()
         end
-        else go (cur :: acc) rest
+        else not_free
     in
     go [] t.free_list
   end
 
-let is_free t ~mfn =
-  List.exists (fun e -> e.first <= mfn && mfn < e.first + e.count) t.free_list
+(* The free list is sorted by [first], so stop as soon as an extent
+   starts past [mfn] instead of scanning every extent. *)
+let rec free_in_sorted mfn = function
+  | [] -> false
+  | e :: rest ->
+    if mfn < e.first then false
+    else mfn < e.first + e.count || free_in_sorted mfn rest
+
+let is_free t ~mfn = free_in_sorted mfn t.free_list
 
 let check_invariants t =
   let rec go count = function

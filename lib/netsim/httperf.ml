@@ -9,7 +9,7 @@ type t = {
   mutable errors : int;
   events : Simkit.Series.Counter.t;
   latency : Obs.Metric.Histogram.t;
-  mutable completion_times : float list; (* newest first *)
+  completion_times : Simkit.Fvec.t; (* insertion order; O(1) append *)
 }
 
 let create engine ?(name = "httperf") ?(connections = 10)
@@ -26,7 +26,7 @@ let create engine ?(name = "httperf") ?(connections = 10)
     errors = 0;
     events = Simkit.Series.Counter.create ~name ();
     latency = Obs.Metric.Histogram.create ();
-    completion_times = [];
+    completion_times = Simkit.Fvec.create ();
   }
 
 let rec connection_loop t =
@@ -40,7 +40,7 @@ let rec connection_loop t =
           (* Latency of the successful attempt only: a retried request
              restarts the clock after its backoff. *)
           Obs.Metric.Histogram.observe t.latency (now -. issued_at);
-          t.completion_times <- now :: t.completion_times;
+          Simkit.Fvec.push t.completion_times now;
           connection_loop t
         end
         else begin
@@ -79,16 +79,25 @@ let throughput_between t ~lo ~hi =
 
 let mean_window_throughput t ~every =
   if every <= 0 then invalid_arg "Httperf.mean_window_throughput: every <= 0";
-  let times = List.rev t.completion_times in
-  let rec blocks acc start_time count = function
-    | [] -> List.rev acc
-    | time :: rest ->
-      let count = count + 1 in
-      if count = every then
-        let rate = float_of_int every /. Float.max (time -. start_time) 1e-9 in
-        blocks ((time, rate) :: acc) time 0 rest
-      else blocks acc start_time count rest
-  in
-  match times with
-  | [] -> []
-  | first :: _ -> blocks [] first 0 times
+  let times = t.completion_times in
+  let n = Simkit.Fvec.length times in
+  if n = 0 then []
+  else begin
+    (* One pass over the vector — nothing is rebuilt per query. The
+       first completion both opens the first block and counts into it,
+       matching the historical list-based fold exactly. *)
+    let acc = ref [] in
+    let start_time = ref (Simkit.Fvec.get times 0) in
+    let count = ref 0 in
+    for i = 0 to n - 1 do
+      let time = Simkit.Fvec.get times i in
+      incr count;
+      if !count = every then begin
+        let rate = float_of_int every /. Float.max (time -. !start_time) 1e-9 in
+        acc := (time, rate) :: !acc;
+        start_time := time;
+        count := 0
+      end
+    done;
+    List.rev !acc
+  end

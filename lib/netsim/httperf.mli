@@ -47,4 +47,6 @@ val mean_window_throughput :
   t -> every:int -> (float * float) list
 (** Average throughput of each consecutive block of [every] completed
     requests, as (block end time, requests/s) — the paper's "average
-    throughput of 50 requests" reporting. *)
+    throughput of 50 requests" reporting. Completion timestamps are
+    kept in a growable vector ([Simkit.Fvec]): recording is O(1) and a
+    query is one pass, with no per-query list rebuild. *)

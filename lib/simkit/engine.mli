@@ -4,16 +4,45 @@
     behaviour in the simulator — disk transfers, OS boots, rejuvenation
     steps, workload probes — is expressed as callbacks scheduled on an
     engine. Execution is fully deterministic: events fire in
-    (time, insertion order). *)
+    (time, insertion order), and both {!Eventq} backends preserve that
+    order exactly, so a seeded run is byte-identical whichever queue
+    it executes on. *)
 
 type t
 
 type handle
 (** A scheduled event, usable for cancellation. *)
 
-val create : ?seed:int -> unit -> t
+type compaction = [ `Auto | `Threshold of float | `Off ]
+(** Tombstone hygiene for cancelled events (see {!create}). *)
+
+val create :
+  ?seed:int -> ?queue:Eventq.backend -> ?compaction:compaction -> unit -> t
 (** Fresh engine with the clock at 0. [seed] (default 42) seeds the
-    engine's root random stream. *)
+    engine's root random stream.
+
+    [queue] picks the event-queue backend (default: the ambient
+    {!default_queue}, initially {!Eventq.Calendar}). Both backends
+    execute a seeded run identically; they differ only in cost.
+
+    [compaction] controls tombstone compaction: cancelled events are
+    removed lazily, and once they exceed the given fraction of the
+    pending queue (and the queue is non-trivially large) the queue is
+    filtered in one O(n) pass. [`Auto] (default) compacts above a 0.5
+    tombstone ratio, [`Threshold r] above [r] (must be positive),
+    [`Off] never — cancelled entries then linger until their original
+    expiry, as timeout-heavy workloads painfully demonstrate.
+    Compaction never changes execution order or results. *)
+
+val default_queue : unit -> Eventq.backend
+(** The calling domain's default backend for {!create}. *)
+
+val set_default_queue : Eventq.backend -> unit
+
+val with_default_queue : Eventq.backend -> (unit -> 'a) -> 'a
+(** Run [f] with the domain default swapped, restoring it afterwards —
+    how the test suite and CLI pin a whole experiment (which builds its
+    engines internally) onto one backend. *)
 
 val now : t -> float
 (** Current simulated time in seconds. *)
@@ -35,7 +64,8 @@ val cancel : t -> handle -> unit
     event is a no-op. *)
 
 val pending : t -> int
-(** Number of events still queued (including cancelled placeholders). *)
+(** Number of events still queued, including cancelled placeholders
+    that have not yet been compacted away. *)
 
 val events_processed : t -> int
 (** Number of callbacks executed so far. *)
@@ -44,6 +74,20 @@ val events_scheduled : t -> int
 (** Number of events ever enqueued (including cancelled ones). Together
     with {!events_processed} and {!pending} this is the engine's
     self-observability surface, sampled by the [Obs] metrics plane. *)
+
+type queue_stats = {
+  qs_backend : Eventq.backend;
+  qs_pending : int;  (** entries in the queue, tombstones included *)
+  qs_tombstones : int;  (** cancelled entries awaiting compaction/expiry *)
+  qs_compactions : int;  (** compaction passes run so far *)
+  qs_buckets : int;  (** calendar bucket count (0 on the heap) *)
+  qs_bucket_width : float;  (** calendar day width, seconds *)
+  qs_resizes : int;  (** calendar resizes so far *)
+}
+
+val queue_stats : t -> queue_stats
+(** Live internals of the event queue, exported as gauges by
+    [Obs.instrument_engine]. *)
 
 val domain_events_processed : unit -> int
 (** Cumulative number of callbacks executed by {e every} engine stepped

@@ -1,0 +1,215 @@
+type backend = Heap | Calendar
+
+let backend_name = function Heap -> "heap" | Calendar -> "calendar"
+
+let backend_of_string = function
+  | "heap" -> Ok Heap
+  | "calendar" -> Ok Calendar
+  | s -> Error (`Msg (Printf.sprintf "unknown queue backend %S (heap|calendar)" s))
+
+(* --- calendar queue -------------------------------------------------------
+
+   Brown's calendar queue: an array of [nbuckets] day-buckets covering a
+   year of [nbuckets * width] key units; an event with key [k] lives in
+   bucket [floor(k / width) mod nbuckets]. Dequeue scans forward from
+   the current virtual day and takes the bucket whose head is due in
+   that day; if a whole year is empty it jumps straight to the global
+   minimum. Bucket count tracks occupancy (double above 2n, halve below
+   n/2) and the width is resampled from the inter-event gaps near the
+   head on every resize, which is what keeps buckets O(1) events deep
+   for clustered timestamps.
+
+   Departure from the textbook structure: each day-bucket is a stable
+   binary min-heap, not a sorted list. Simulation schedules are full of
+   exact key ties (everything armed "now + d" within one callback), and
+   tied keys always land in the same bucket, so a sorted-list bucket
+   degenerates to an O(depth) tail insert per event. Heap buckets make
+   that O(log depth), keep FIFO order for ties (the bucket heap is
+   stable, and ties can never straddle buckets), and mean that even a
+   badly-sampled width — e.g. a bimodal schedule whose only positive
+   gap is the jump between two tie clusters — degrades into "one big
+   heap", never into quadratic list walks. *)
+
+type 'a calendar = {
+  mutable buckets : 'a Heap.t array;
+  mutable width : float;  (* day length in key units *)
+  mutable csize : int;
+  mutable cur_vb : int;  (* virtual (un-wrapped) day the scan is on *)
+  mutable cresizes : int;
+}
+
+let min_buckets = 8
+
+let fresh_buckets n = Array.init n (fun _ -> Heap.create ())
+
+let cal_create () =
+  {
+    buckets = fresh_buckets min_buckets;
+    width = 1.0;
+    csize = 0;
+    cur_vb = 0;
+    cresizes = 0;
+  }
+
+(* Virtual day of a key: exact integer comparison against [cur_vb], so
+   insert and dequeue agree on day membership with no accumulated
+   float error. *)
+let vday c key = int_of_float (Float.floor (key /. c.width))
+
+let bucket_index vb n =
+  let i = vb mod n in
+  if i < 0 then i + n else i
+
+(* Rebuild with [new_count] buckets, resampling the width from the
+   inter-event gaps of the (up to) 32 earliest entries. Each old bucket
+   drains in (key, FIFO) order and equal keys never straddle buckets,
+   so re-adding drained runs preserves the tie order. *)
+let cal_resize c new_count =
+  let drained = Array.map Heap.drain c.buckets in
+  let keys =
+    Array.fold_left
+      (fun acc l -> List.fold_left (fun a (k, _) -> k :: a) acc l)
+      [] drained
+    |> List.sort Float.compare
+  in
+  (match keys with
+  | [] | [ _ ] -> ()
+  | first :: rest ->
+    let rec gaps sum n last i = function
+      | k :: tl when i < 32 ->
+        let d = k -. last in
+        if d > 0.0 then gaps (sum +. d) (n + 1) k (i + 1) tl
+        else gaps sum n last (i + 1) tl
+      | _ ->
+        if n > 0 then
+          c.width <- Float.max (2.0 *. (sum /. float_of_int n)) 1e-9
+    in
+    gaps 0.0 0 first 1 rest);
+  c.buckets <- fresh_buckets new_count;
+  c.cur_vb <- (match keys with [] -> 0 | k :: _ -> vday c k);
+  Array.iter
+    (List.iter (fun (k, v) ->
+         Heap.add c.buckets.(bucket_index (vday c k) new_count) ~key:k v))
+    drained;
+  c.cresizes <- c.cresizes + 1
+
+let cal_add c ~key value =
+  if not (Float.is_finite key) then invalid_arg "Eventq.add: non-finite key";
+  let n = Array.length c.buckets in
+  let vb = vday c key in
+  Heap.add c.buckets.(bucket_index vb n) ~key value;
+  c.csize <- c.csize + 1;
+  (* An insert behind the scan position pulls the scan back so the new
+     minimum cannot be skipped. *)
+  if vb < c.cur_vb then c.cur_vb <- vb;
+  if c.csize > 2 * n then cal_resize c (2 * n)
+
+(* Advance the scan to the bucket holding the next entry and return its
+   index. Amortized O(1); a year of empty buckets falls back to a
+   direct minimum search over the bucket heads. *)
+let cal_find c =
+  if c.csize = 0 then None
+  else begin
+    let n = Array.length c.buckets in
+    let rec scan remaining =
+      if remaining = 0 then direct ()
+      else
+        let i = bucket_index c.cur_vb n in
+        match Heap.min c.buckets.(i) with
+        | Some (k, _) when vday c k <= c.cur_vb -> Some i
+        | _ ->
+          c.cur_vb <- c.cur_vb + 1;
+          scan (remaining - 1)
+    and direct () =
+      (* Equal keys share a bucket, so strict comparison cannot break a
+         FIFO tie here. *)
+      let best = ref None in
+      Array.iteri
+        (fun i h ->
+          match (Heap.min h, !best) with
+          | None, _ -> ()
+          | Some (k, _), Some (_, bk) when bk <= k -> ()
+          | Some (k, _), _ -> best := Some (i, k))
+        c.buckets;
+      match !best with
+      | None -> None
+      | Some (i, k) ->
+        c.cur_vb <- vday c k;
+        Some i
+    in
+    scan n
+  end
+
+let cal_maybe_shrink c =
+  let n = Array.length c.buckets in
+  let target = ref n in
+  while !target > min_buckets && c.csize * 2 < !target do
+    target := !target / 2
+  done;
+  if !target <> n then cal_resize c !target
+
+let cal_pop c =
+  match cal_find c with
+  | None -> None
+  | Some i ->
+    let r = Heap.pop c.buckets.(i) in
+    c.csize <- c.csize - 1;
+    cal_maybe_shrink c;
+    r
+
+let cal_min c =
+  match cal_find c with None -> None | Some i -> Heap.min c.buckets.(i)
+
+let cal_clear c =
+  c.buckets <- fresh_buckets min_buckets;
+  c.width <- 1.0;
+  c.csize <- 0;
+  c.cur_vb <- 0
+
+let cal_compact c ~live =
+  let removed = ref 0 in
+  Array.iter
+    (fun h -> removed := !removed + Heap.filter_inplace h ~keep:live)
+    c.buckets;
+  c.csize <- c.csize - !removed;
+  cal_maybe_shrink c;
+  !removed
+
+(* --- the dispatch wrapper ------------------------------------------------- *)
+
+type 'a t = Heap_q of 'a Heap.t | Cal_q of 'a calendar
+
+let create ?(backend = Calendar) () =
+  match backend with
+  | Heap -> Heap_q (Heap.create ())
+  | Calendar -> Cal_q (cal_create ())
+
+let backend = function Heap_q _ -> Heap | Cal_q _ -> Calendar
+
+let length = function Heap_q h -> Heap.length h | Cal_q c -> c.csize
+let is_empty t = length t = 0
+
+let add t ~key v =
+  match t with
+  | Heap_q h -> Heap.add h ~key v
+  | Cal_q c -> cal_add c ~key v
+
+let min = function Heap_q h -> Heap.min h | Cal_q c -> cal_min c
+let pop = function Heap_q h -> Heap.pop h | Cal_q c -> cal_pop c
+let clear = function Heap_q h -> Heap.clear h | Cal_q c -> cal_clear c
+
+let compact t ~live =
+  match t with
+  | Heap_q h -> Heap.filter_inplace h ~keep:live
+  | Cal_q c -> cal_compact c ~live
+
+type stats = { q_buckets : int; q_bucket_width : float; q_resizes : int }
+
+let stats = function
+  | Heap_q _ -> { q_buckets = 0; q_bucket_width = 0.0; q_resizes = 0 }
+  | Cal_q c ->
+    {
+      q_buckets = Array.length c.buckets;
+      q_bucket_width = c.width;
+      q_resizes = c.cresizes;
+    }

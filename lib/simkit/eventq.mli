@@ -1,0 +1,61 @@
+(** Pluggable event queue for the simulation engine.
+
+    Two backends behind one interface, both stable: entries with equal
+    keys pop in insertion order, so the engine's execution order — and
+    therefore every seeded run — is byte-identical whichever backend is
+    selected.
+
+    - {!Heap}: the classic binary min-heap ({!Simkit.Heap}). O(log n)
+      insert and pop, no tuning, no pathological cases.
+    - {!Calendar}: a calendar queue (Brown 1988). Events hash into
+      day-buckets of an adaptive year; for the clustered timestamps a
+      simulation produces, insert and pop are O(1) amortized. The
+      bucket count doubles/halves with occupancy and the bucket width
+      is resampled from observed inter-event gaps on each resize. Day
+      buckets are themselves stable mini-heaps, so the exact-key-tie
+      storms a simulator generates (and any badly-sampled width) cost
+      O(log bucket-depth), never a linear list walk. See [doc/perf.md]. *)
+
+type backend = Heap | Calendar
+
+val backend_name : backend -> string
+(** ["heap"] / ["calendar"]. *)
+
+val backend_of_string : string -> (backend, [ `Msg of string ]) result
+
+type 'a t
+
+val create : ?backend:backend -> unit -> 'a t
+(** An empty queue (default backend {!Calendar}). *)
+
+val backend : 'a t -> backend
+
+val length : 'a t -> int
+val is_empty : 'a t -> bool
+
+val add : 'a t -> key:float -> 'a -> unit
+(** Insert with priority [key] (must be finite). Equal keys preserve
+    insertion order across any interleaving of adds and pops. *)
+
+val min : 'a t -> (float * 'a) option
+(** Smallest entry without removing it. *)
+
+val pop : 'a t -> (float * 'a) option
+(** Remove and return the smallest entry; ties pop FIFO. *)
+
+val clear : 'a t -> unit
+
+val compact : 'a t -> live:('a -> bool) -> int
+(** [compact t ~live] drops every entry whose value fails [live] and
+    returns how many were dropped. Surviving entries keep their
+    insertion ranks, so FIFO tie-breaking against both old and future
+    entries is unchanged — this is what makes lazy deletion safe for a
+    deterministic engine. *)
+
+type stats = {
+  q_buckets : int;  (** calendar bucket count; 0 for the heap *)
+  q_bucket_width : float;  (** current day width in key units *)
+  q_resizes : int;  (** cumulative calendar resizes *)
+}
+
+val stats : 'a t -> stats

@@ -84,3 +84,34 @@ let pop t =
 let clear t =
   t.size <- 0;
   t.data <- [||]
+
+let drain t =
+  let rec go acc =
+    match pop t with Some kv -> go (kv :: acc) | None -> List.rev acc
+  in
+  go []
+
+let filter_inplace t ~keep =
+  let n = t.size in
+  let kept = ref 0 in
+  for i = 0 to n - 1 do
+    let e = t.data.(i) in
+    if keep e.value then begin
+      t.data.(!kept) <- e;
+      incr kept
+    end
+  done;
+  t.size <- !kept;
+  if t.size = 0 then t.data <- [||]
+  else begin
+    (* Release dropped values to the GC, then restore the heap shape.
+       Entries keep their sequence numbers, so FIFO tie-breaking against
+       both surviving and future entries is unchanged. *)
+    for i = t.size to n - 1 do
+      t.data.(i) <- t.data.(0)
+    done;
+    for i = (t.size / 2) - 1 downto 0 do
+      sift_down t i
+    done
+  end;
+  n - !kept

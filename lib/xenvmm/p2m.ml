@@ -34,15 +34,26 @@ let add_extent t ~pfn_first ~mfns =
   t.runs <- Int_map.add pfn_first mfns t.runs;
   t.page_count <- t.page_count + count
 
-(* Runs covering any part of [pfn_first, pfn_first + count). *)
+(* Runs covering any part of [pfn_first, pfn_first + count), in
+   ascending key order. Runs are disjoint and keyed by first PFN, so
+   the candidates are the predecessor run (if it extends into the
+   window) plus the in-order walk from [pfn_first] up to the window
+   end — O(log n + hits) instead of a fold over every run, which
+   matters because this sits on the suspend/resume path of every
+   domain. *)
 let runs_in_range t ~pfn_first ~count =
-  Int_map.fold
-    (fun k ext acc ->
-      if k < pfn_first + count && k + ext.Hw.Frame.count > pfn_first then
-        (k, ext) :: acc
-      else acc)
-    t.runs []
-  |> List.rev
+  let hi = pfn_first + count in
+  let pred =
+    match Int_map.find_last_opt (fun k -> k < pfn_first) t.runs with
+    | Some (k, ext) when k + ext.Hw.Frame.count > pfn_first -> [ (k, ext) ]
+    | Some _ | None -> []
+  in
+  let inside =
+    Int_map.to_seq_from pfn_first t.runs
+    |> Seq.take_while (fun (k, _) -> k < hi)
+    |> List.of_seq
+  in
+  pred @ inside
 
 let remove_range t ~pfn_first ~count =
   if count <= 0 then invalid_arg "P2m.remove_range: empty range";

@@ -81,6 +81,37 @@ let test_negative_keys () =
   Heap.add h ~key:0.0 "zero";
   check_true "negative first" (Heap.pop h = Some (-5.0, "neg"))
 
+let test_filter_inplace () =
+  let h = Heap.create () in
+  for i = 1 to 100 do
+    Heap.add h ~key:(float_of_int (i mod 10)) i
+  done;
+  let dropped = Heap.filter_inplace h ~keep:(fun v -> v mod 3 = 0) in
+  check_int "dropped" 67 dropped;
+  check_int "kept" 33 (Heap.length h);
+  (* Survivors keep their original keys and FIFO rank among ties. *)
+  let rec drain acc =
+    match Heap.pop h with Some kv -> drain (kv :: acc) | None -> List.rev acc
+  in
+  let expected =
+    List.init 100 (fun i -> (float_of_int ((i + 1) mod 10), i + 1))
+    |> List.filter (fun (_, v) -> v mod 3 = 0)
+    |> List.stable_sort (fun (k1, _) (k2, _) -> Float.compare k1 k2)
+  in
+  check_true "order preserved" (drain [] = expected)
+
+let test_filter_inplace_all_and_none () =
+  let h = Heap.create () in
+  for i = 1 to 10 do
+    Heap.add h ~key:(float_of_int i) i
+  done;
+  check_int "keep all drops none" 0
+    (Heap.filter_inplace h ~keep:(fun _ -> true));
+  check_int "length intact" 10 (Heap.length h);
+  check_int "keep none drops all" 10
+    (Heap.filter_inplace h ~keep:(fun _ -> false));
+  check_true "empty" (Heap.is_empty h)
+
 let prop_pop_sorted =
   qtest "pop yields sorted keys"
     QCheck.(list (float_bound_inclusive 1000.0))
@@ -117,6 +148,9 @@ let suite =
       Alcotest.test_case "clear" `Quick test_clear;
       Alcotest.test_case "growth to 1000" `Quick test_growth;
       Alcotest.test_case "negative keys" `Quick test_negative_keys;
+      Alcotest.test_case "filter_inplace" `Quick test_filter_inplace;
+      Alcotest.test_case "filter_inplace edge cases" `Quick
+        test_filter_inplace_all_and_none;
       prop_pop_sorted;
       prop_length;
     ] )

@@ -4,8 +4,16 @@
 
 open Cmdliner
 
-let strategy_conv =
-  Arg.conv (Rejuv.Strategy.of_string_result, Rejuv.Strategy.pp)
+(* Every enum-valued flag goes through one converter built on
+   [Simkit.Enum]: uniform parsing, uniform "expected one of ..."
+   rejections, and the doc string enumerates the same names. *)
+let enum_conv e = Arg.conv (Simkit.Enum.of_string e, Simkit.Enum.pp e)
+
+let enum_doc e what =
+  Printf.sprintf "%s: %s" what
+    (String.concat ", " (Simkit.Enum.names e))
+
+let strategy_conv = enum_conv Rejuv.Strategy.enum
 
 let workload_conv =
   let print ppf w =
@@ -17,13 +25,26 @@ let strategy_arg =
   Arg.(
     value
     & opt strategy_conv Rejuv.Strategy.Warm
-    & info [ "strategy" ] ~doc:"Reboot strategy: warm, saved or cold")
+    & info [ "strategy" ]
+        ~doc:(enum_doc Rejuv.Strategy.enum "Reboot strategy"))
 
 let workload_arg =
   Arg.(
     value
     & opt workload_conv Rejuv.Scenario.Ssh
-    & info [ "workload" ] ~doc:"Service in each VM: ssh, jboss or web")
+    & info [ "workload" ]
+        ~doc:(enum_doc Rejuv.Scenario.workload_enum "Service in each VM"))
+
+let wave_strategy_conv = enum_conv Rejuv.Wave.strategy_enum
+
+let wave_strategy_arg =
+  Arg.(
+    value
+    & opt (some wave_strategy_conv) None
+    & info [ "wave-strategy" ]
+        ~doc:
+          (enum_doc Rejuv.Wave.strategy_enum
+             "Per-wave rejuvenation strategy (default: all)"))
 
 let csv_arg =
   Arg.(
@@ -38,11 +59,7 @@ let json_arg =
     & info [ "json" ] ~docv:"FILE"
         ~doc:"Also write the data as JSON to $(docv)")
 
-let queue_conv =
-  let print ppf b =
-    Format.pp_print_string ppf (Simkit.Eventq.backend_name b)
-  in
-  Arg.conv (Simkit.Eventq.backend_of_string, print)
+let queue_conv = enum_conv Simkit.Eventq.backend_enum
 
 let queue_arg =
   Arg.(
@@ -62,15 +79,7 @@ let jobs_arg =
 
 (* --- metrics plane --------------------------------------------------------- *)
 
-let metrics_format_conv =
-  let parse s =
-    Result.map_error (fun e -> `Msg e) (Obs.Export.format_of_string s)
-  in
-  let print ppf (f : Obs.Export.format) =
-    Format.pp_print_string ppf
-      (match f with Json -> "json" | Csv -> "csv" | Prom -> "prom")
-  in
-  Arg.conv (parse, print)
+let metrics_format_conv = enum_conv Obs.Export.format_enum
 
 let metrics_arg =
   Arg.(

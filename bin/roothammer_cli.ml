@@ -52,6 +52,24 @@ let print_availability rows =
         (Rejuv.Availability.nines a))
     rows
 
+let print_fleet reports =
+  pf "%-8s %6s %6s %5s %6s %10s %8s %8s %7s %7s %5s@." "strategy" "hosts"
+    "width" "waves" "floor" "makespan-s" "offered" "lost" "loss-%" "min-up"
+    "slo";
+  List.iter
+    (fun (r : Rejuv.Fleet.report) ->
+      pf "%-8s %6d %6d %5d %6d %10.1f %8d %8d %7.2f %7d %5s%s@."
+        (Rejuv.Wave.strategy_id r.fr_strategy)
+        r.hosts r.wave_width (List.length r.waves) r.slo_floor r.makespan_s
+        r.offered r.lost
+        (100.0 *. r.loss_ratio)
+        r.min_healthy
+        (if r.slo_met then "met" else "MISS")
+        (match r.skipped with
+        | [] -> ""
+        | s -> Printf.sprintf "  (%d skipped)" (List.length s)))
+    reports
+
 let print_timeline series =
   List.iter
     (fun (name, tl) ->
@@ -99,6 +117,9 @@ let print_result id = function
           (Rejuv.Strategy.id c.completed)
           c.retries c.domains_lost c.extra_downtime_s)
       cells
+  | Result.Fleet reports ->
+    pf "# %s@." id;
+    print_fleet reports
 
 (* --- figure commands -------------------------------------------------------- *)
 
@@ -290,7 +311,8 @@ let run_cmd =
       & info [ "smoke" ]
           ~doc:
             "Shrink the run for CI: fault_matrix runs a single cell \
-             (warm x xend.resume) instead of the full grid")
+             (warm x xend.resume) and fleet_rolling a single small warm \
+             cell instead of the full grid")
   in
   let run verbose id smoke queue strategy workload csv json metrics =
     setup_logs verbose;
@@ -495,15 +517,27 @@ let schedule_cmd =
   cmd "schedule" ~doc:"Load-aware placement of the rejuvenation window"
     Term.(const run $ verbose_arg $ duration_arg)
 
+let blind_dispatch_arg =
+  Arg.(
+    value & flag
+    & info [ "blind-dispatch" ]
+        ~doc:
+          "Round-robin requests ignoring host health (the paper's \
+           lost-request model) instead of skipping unhealthy hosts")
+
 let cluster_cmd =
   let hosts_arg =
     Arg.(value & opt int 4 & info [ "hosts" ] ~doc:"Cluster size")
   in
-  let run verbose hosts strategy =
+  let run verbose hosts strategy blind_dispatch =
     setup_logs verbose;
     let c =
-      Rejuv.Cluster_sim.create ~hosts ~vms_per_host:3
-        ~vm_mem_bytes:(Simkit.Units.gib 1) ~workload:Rejuv.Scenario.Ssh ()
+      Rejuv.Cluster_sim.create
+        {
+          Rejuv.Cluster_sim.Config.hosts;
+          host = Rejuv.Scenario.Config.(default |> with_vms 3);
+          blind_dispatch;
+        }
     in
     Rejuv.Cluster_sim.start c;
     pf "%d hosts up; rolling %s under 100 req/s...@." hosts
@@ -520,7 +554,63 @@ let cluster_cmd =
       (100.0 *. r.Rejuv.Cluster_sim.loss_ratio)
   in
   cmd "cluster" ~doc:"Rolling rejuvenation across a simulated cluster"
-    Term.(const run $ verbose_arg $ hosts_arg $ Cli_args.strategy_arg)
+    Term.(
+      const run $ verbose_arg $ hosts_arg $ Cli_args.strategy_arg
+      $ blind_dispatch_arg)
+
+let fleet_cmd =
+  let hosts_arg =
+    Arg.(value & opt int 16 & info [ "hosts" ] ~doc:"Fleet size")
+  in
+  let width_arg =
+    Arg.(
+      value & opt int 4
+      & info [ "wave-width" ]
+          ~doc:"Hosts rejuvenated per wave (clamped to the SLO slack)")
+  in
+  let slo_arg =
+    Arg.(
+      value & opt float 0.7
+      & info [ "slo" ] ~doc:"Fraction of hosts that must stay healthy")
+  in
+  let load_arg =
+    Arg.(
+      value & opt float 200.0
+      & info [ "load" ] ~doc:"Poisson client stream, requests per second")
+  in
+  let run verbose hosts width slo load wave_strategy blind_dispatch metrics =
+    setup_logs verbose;
+    let registry = Obs.reset_ambient () in
+    let fleet =
+      Rejuv.Fleet.create
+        {
+          Rejuv.Fleet.Config.default with
+          hosts;
+          wave_width = width;
+          slo;
+          load_rate_per_s = load;
+          blind_dispatch;
+        }
+    in
+    Rejuv.Fleet.start fleet;
+    let strategy =
+      Option.value wave_strategy ~default:(Rejuv.Wave.Reboot Rejuv.Strategy.Warm)
+    in
+    pf "%d hosts up; rolling %s waves of <= %d under %.0f req/s...@." hosts
+      (Rejuv.Wave.strategy_id strategy)
+      width load;
+    let r = Rejuv.Fleet.run fleet ~strategy in
+    print_fleet [ r ];
+    Cli_args.print_metrics ~registry metrics
+  in
+  cmd "fleet"
+    ~doc:
+      "Fleet-scale rolling rejuvenation under an SLO guard (waves of hosts, \
+       warm/saved/cold/migrate)"
+    Term.(
+      const run $ verbose_arg $ hosts_arg $ width_arg $ slo_arg $ load_arg
+      $ Cli_args.wave_strategy_arg $ blind_dispatch_arg
+      $ Cli_args.metrics_arg)
 
 let report_cmd =
   let n_arg =
@@ -548,5 +638,5 @@ let () =
           [
             fig4_cmd; fig5_cmd; reload_cmd; fig6_cmd; fig7_cmd; fig8_cmd;
             fits_cmd; avail_cmd; fig9_cmd; run_cmd; sweep_cmd; list_cmd;
-            migrate_cmd; schedule_cmd; cluster_cmd; report_cmd;
+            migrate_cmd; schedule_cmd; cluster_cmd; fleet_cmd; report_cmd;
           ]))

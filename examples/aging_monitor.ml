@@ -11,9 +11,7 @@ let pf = Format.printf
 
 let () =
   let scenario =
-    Rejuv.Scenario.create ~vm_count:3
-      ~vm_mem_bytes:(Simkit.Units.gib 1)
-      ~workload:Rejuv.Scenario.Ssh ()
+    Rejuv.Scenario.create { Rejuv.Scenario.Config.default with vm_count = 3 }
   in
   let vmm = Rejuv.Scenario.vmm scenario in
   let engine = Rejuv.Scenario.engine scenario in

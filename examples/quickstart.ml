@@ -9,9 +9,7 @@ let () =
   (* A host modelled after the paper's testbed (12 GiB RAM, SCSI disk,
      GbE) running two 1 GiB VMs, each with an ssh server. *)
   let scenario =
-    Rejuv.Scenario.create ~vm_count:2
-      ~vm_mem_bytes:(Simkit.Units.gib 1)
-      ~workload:Rejuv.Scenario.Ssh ()
+    Rejuv.Scenario.create { Rejuv.Scenario.Config.default with vm_count = 2 }
   in
   Rejuv.Roothammer.start_and_run scenario;
   Format.printf "testbed up at t=%.1f s; VMs: %s@."

@@ -3,11 +3,12 @@ module Stat = Simkit.Stat
 
 type format = Json | Csv | Prom
 
-let format_of_string = function
-  | "json" -> Ok Json
-  | "csv" -> Ok Csv
-  | "prom" | "prometheus" -> Ok Prom
-  | s -> Error (Printf.sprintf "unknown metrics format %S (json|csv|prom)" s)
+let format_enum =
+  Simkit.Enum.make ~what:"metrics format"
+    ~aliases:[ ("prometheus", Prom) ]
+    [ ("json", Json); ("csv", Csv); ("prom", Prom) ]
+
+let format_of_string s = Simkit.Enum.of_string format_enum s
 
 let extension = function Json -> ".json" | Csv -> ".csv" | Prom -> ".prom"
 

@@ -9,8 +9,12 @@
 
 type format = Json | Csv | Prom
 
-val format_of_string : string -> (format, string) result
-(** ["json"], ["csv"], ["prom"]/["prometheus"]. *)
+val format_enum : format Simkit.Enum.t
+(** ["json"], ["csv"], ["prom"] (alias ["prometheus"]). *)
+
+val format_of_string : string -> (format, [> `Msg of string ]) result
+(** {!Simkit.Enum.of_string} on {!format_enum}; the [`Msg] error is
+    CLI-ready, matching every other enum parser in the tree. *)
 
 val extension : format -> string
 

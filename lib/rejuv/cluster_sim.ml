@@ -1,24 +1,50 @@
+module Config = struct
+  type t = {
+    hosts : int;
+    host : Scenario.Config.t;
+    blind_dispatch : bool;
+  }
+
+  let default =
+    {
+      hosts = 3;
+      host = Scenario.Config.(default |> with_vms 2);
+      blind_dispatch = false;
+    }
+end
+
 type t = {
   eng : Simkit.Engine.t;
   members : Scenario.t array;
   rng : Simkit.Rng.t;
+  blind_dispatch : bool;
   mutable next_host : int;
 }
 
-let create ?(calibration = Calibration.default) ?(seed = 42) ~hosts
-    ~vms_per_host ~vm_mem_bytes ~workload () =
-  if hosts <= 0 then invalid_arg "Cluster_sim.create: hosts <= 0";
-  let eng = Simkit.Engine.create ~seed () in
+let create ?engine (cfg : Config.t) =
+  if cfg.Config.hosts <= 0 then invalid_arg "Cluster_sim.create: hosts <= 0";
+  let template = cfg.Config.host in
+  let eng =
+    match engine with
+    | Some e -> e
+    | None -> Simkit.Engine.create ~seed:template.Scenario.Config.seed ()
+  in
   let members =
-    Array.init hosts (fun i ->
-        Scenario.create ~calibration ~engine:eng
-          ~name_prefix:(Printf.sprintf "h%d-" (i + 1))
-          ~vm_count:vms_per_host ~vm_mem_bytes ~workload ())
+    Array.init cfg.Config.hosts (fun i ->
+        Scenario.create
+          {
+            template with
+            Scenario.Config.engine = Some eng;
+            name_prefix =
+              Printf.sprintf "%sh%d-" template.Scenario.Config.name_prefix
+                (i + 1);
+          })
   in
   {
     eng;
     members;
     rng = Simkit.Rng.split (Simkit.Engine.rng eng);
+    blind_dispatch = cfg.Config.blind_dispatch;
     next_host = 0;
   }
 
@@ -47,13 +73,31 @@ let start t =
   if !up < host_count t then
     Simkit.Fault.fail (Simkit.Fault.Stalled "Cluster_sim.start")
 
+(* Round-robin over the healthy hosts: starting from the cursor, take
+   the first healthy one. Only when every host is down does the request
+   land on the (dead) cursor host and fail. [blind_dispatch] restores
+   the original health-oblivious balancer, which sprays requests at
+   rejuvenating hosts — the paper's lost-request model (Figure 9). *)
+let dispatch t =
+  let n = host_count t in
+  let blind = t.next_host in
+  t.next_host <- (blind + 1) mod n;
+  if t.blind_dispatch then blind
+  else
+    let rec find k =
+      if k >= n then blind
+      else
+        let i = (blind + k) mod n in
+        if host_healthy t i then begin
+          t.next_host <- (i + 1) mod n;
+          i
+        end
+        else find (k + 1)
+    in
+    find 0
+
 let offer_load t ~rate_per_s =
-  let request k =
-    (* Round-robin dispatch, as the paper's load balancer. *)
-    let i = t.next_host in
-    t.next_host <- (i + 1) mod host_count t;
-    k (host_healthy t i)
-  in
+  let request k = k (host_healthy t (dispatch t)) in
   let gen =
     Netsim.Poisson.create t.eng ~name:"cluster-load" ~rate_per_s ~rng:t.rng
       ~request ()

@@ -8,19 +8,34 @@
     a host whose VMs are down (it is rejuvenating) are lost. Rolling the
     rejuvenation across the hosts yields the measured counterpart of the
     Figure 9 model: lost requests per strategy, and the cluster-capacity
-    timeline. *)
+    timeline.
+
+    By default the dispatcher is health-aware: it round-robins over the
+    {e healthy} hosts, so a rejuvenating host only drops the requests
+    already in flight. Set [Config.blind_dispatch] to recover the
+    original health-oblivious balancer (the paper's lost-request
+    model). *)
+
+module Config : sig
+  type t = {
+    hosts : int;  (** default 3 *)
+    host : Scenario.Config.t;
+        (** per-host template; [name_prefix] is extended and [engine]
+            overwritten with the shared cluster engine (seeded from
+            [host.seed] unless [create ?engine] supplies one) *)
+    blind_dispatch : bool;
+        (** dispatch round-robin ignoring host health; default [false] *)
+  }
+
+  val default : t
+  (** 3 hosts × 2 [Ssh] VMs, health-aware dispatch. *)
+end
 
 type t
 
-val create :
-  ?calibration:Calibration.t ->
-  ?seed:int ->
-  hosts:int ->
-  vms_per_host:int ->
-  vm_mem_bytes:int ->
-  workload:Scenario.workload ->
-  unit ->
-  t
+val create : ?engine:Simkit.Engine.t -> Config.t -> t
+(** Pass [engine] to place the whole cluster inside an existing
+    simulation (e.g. a fleet with hosts outside this cluster). *)
 
 val engine : t -> Simkit.Engine.t
 val nodes : t -> Scenario.t list

@@ -51,11 +51,25 @@ let boot_testbed scenario =
   if not !started then
     Simkit.Fault.fail (Simkit.Fault.Stalled "Experiment testbed start")
 
+(* Experiment entry points keep optional [calibration]/[seed] (absent
+   means "the config default"), folded into a [Scenario.Config] here. *)
+let scenario_config ?calibration ?seed ~vm_count ~vm_mem_bytes ~workload () =
+  let cfg =
+    { Scenario.Config.default with vm_count; vm_mem_bytes; workload }
+  in
+  let cfg =
+    match calibration with
+    | None -> cfg
+    | Some calibration -> { cfg with Scenario.Config.calibration }
+  in
+  match seed with None -> cfg | Some seed -> { cfg with Scenario.Config.seed }
+
 let run_reboot ?calibration ?(workload = Scenario.Ssh) ?seed
     ?(settle_s = 20.0) ?(horizon_s = 1200.0) ~strategy ~vm_count
     ~vm_mem_bytes () =
   let scenario =
-    Scenario.create ?calibration ?seed ~vm_count ~vm_mem_bytes ~workload ()
+    Scenario.create
+      (scenario_config ?calibration ?seed ~vm_count ~vm_mem_bytes ~workload ())
   in
   let engine = Scenario.engine scenario in
   boot_testbed scenario;
@@ -157,8 +171,7 @@ type reload_times = { quick_reload_s : float; hardware_reset_s : float }
    VMM completed" (ready to boot dom0), with no domain Us. *)
 let measure_vmm_reboot ~quick =
   let scenario =
-    Scenario.create ~vm_count:0 ~vm_mem_bytes:(Simkit.Units.gib 1)
-      ~workload:Scenario.Ssh ()
+    Scenario.create { Scenario.Config.default with vm_count = 0 }
   in
   let vmm = Scenario.vmm scenario in
   let engine = Scenario.engine scenario in
@@ -215,8 +228,7 @@ let fig6 ?(vm_counts = [ 1; 3; 5; 7; 9; 11 ]) ~workload () =
 
 let run_os_rejuvenation ?(workload = Scenario.Jboss) () =
   let scenario =
-    Scenario.create ~vm_count:1 ~vm_mem_bytes:(Simkit.Units.gib 1) ~workload
-      ()
+    Scenario.create { Scenario.Config.default with vm_count = 1; workload }
   in
   let engine = Scenario.engine scenario in
   boot_testbed scenario;
@@ -267,8 +279,7 @@ let fig7 ~strategy () =
                    warm_cache = true }
   in
   let scenario =
-    Scenario.create ~vm_count:11 ~vm_mem_bytes:(Simkit.Units.gib 1) ~workload
-      ()
+    Scenario.create { Scenario.Config.default with vm_count = 11; workload }
   in
   let engine = Scenario.engine scenario in
   boot_testbed scenario;
@@ -359,8 +370,8 @@ let timed_file_reads scenario vm k =
 
 let fig8_file ~strategy () =
   let scenario =
-    Scenario.create ~vm_count:1 ~vm_mem_bytes:(Simkit.Units.gib 11)
-      ~workload:Scenario.Ssh ()
+    Scenario.create
+      Scenario.Config.(default |> with_vms 1 ~mem_bytes:(Simkit.Units.gib 11))
   in
   let engine = Scenario.engine scenario in
   boot_testbed scenario;
@@ -418,8 +429,11 @@ let fig8_web ~strategy () =
         warm_cache = true }
   in
   let scenario =
-    Scenario.create ~vm_count:1 ~vm_mem_bytes:(Simkit.Units.gib 11) ~workload
-      ()
+    Scenario.create
+      Scenario.Config.(
+        default
+        |> with_vms 1 ~mem_bytes:(Simkit.Units.gib 11)
+        |> with_workload workload)
   in
   let engine = Scenario.engine scenario in
   boot_testbed scenario;
@@ -518,6 +532,26 @@ let section_5_6_fits ?(vm_counts = [ 0; 2; 4; 6; 8; 11 ]) () =
   in
   Downtime_model.fit ~reboot_vmm ~resume ~reboot_os ~boot ~reset_hw
 
+(* --- Fleet-scale rolling rejuvenation (Section 6, at scale) -------------- *)
+
+(* One grid cell: a fresh fleet on its own engine, booted and rolled
+   once. 50 req/s keeps the load stream light enough for the largest
+   cells while still measuring lost requests. *)
+let fleet_cell ~seed ~hosts ~width ~slo ~strategy () =
+  let fleet =
+    Fleet.create
+      {
+        Fleet.Config.default with
+        hosts;
+        wave_width = width;
+        slo;
+        host = { Scenario.Config.default with seed };
+        load_rate_per_s = 50.0;
+      }
+  in
+  Fleet.start fleet;
+  Fleet.run fleet ~strategy
+
 (* --- Uniform results ----------------------------------------------------- *)
 
 module Result = struct
@@ -532,6 +566,7 @@ module Result = struct
     | Timeline of (string * (float * float) list) list
     | Scalar of { label : string; value : float }
     | Fault_matrix of Fault_matrix.cell list
+    | Fleet of Fleet.report list
 
   let kind = function
     | Task_times _ -> "task_times"
@@ -544,6 +579,7 @@ module Result = struct
     | Timeline _ -> "timeline"
     | Scalar _ -> "scalar"
     | Fault_matrix _ -> "fault_matrix"
+    | Fleet _ -> "fleet"
 
   let jf f = Jsonx.Float f
 
@@ -582,6 +618,36 @@ module Result = struct
         ("baseline_downtime_s", jf c.Fault_matrix.baseline_downtime_s);
         ("downtime_s", jf c.Fault_matrix.downtime_s);
         ("extra_downtime_s", jf c.Fault_matrix.extra_downtime_s);
+      ]
+
+  let json_wave (w : Fleet.wave_report) =
+    Jsonx.Obj
+      [
+        ("index", Jsonx.Int w.Fleet.wave_index);
+        ("hosts", Jsonx.Arr (List.map (fun i -> Jsonx.Int i) w.Fleet.wave_hosts));
+        ("started_at_s", jf w.Fleet.started_at_s);
+        ("makespan_s", jf w.Fleet.wave_makespan_s);
+        ("deferred", Jsonx.Int w.Fleet.deferred);
+      ]
+
+  let json_fleet (r : Fleet.report) =
+    Jsonx.Obj
+      [
+        ("strategy", Jsonx.Str (Wave.strategy_id r.Fleet.fr_strategy));
+        ("hosts", Jsonx.Int r.Fleet.hosts);
+        ("wave_width", Jsonx.Int r.Fleet.wave_width);
+        ("slo", jf r.Fleet.slo);
+        ("slo_floor", Jsonx.Int r.Fleet.slo_floor);
+        ("waves", Jsonx.Arr (List.map json_wave r.Fleet.waves));
+        ("makespan_s", jf r.Fleet.makespan_s);
+        ("offered", Jsonx.Int r.Fleet.offered);
+        ("lost", Jsonx.Int r.Fleet.lost);
+        ("loss_ratio", jf r.Fleet.loss_ratio);
+        ("min_healthy", Jsonx.Int r.Fleet.min_healthy);
+        ("mean_healthy", jf r.Fleet.mean_healthy);
+        ("slo_met", Jsonx.Bool r.Fleet.slo_met);
+        ( "skipped",
+          Jsonx.Arr (List.map (fun i -> Jsonx.Int i) r.Fleet.skipped) );
       ]
 
   let to_json_tree t =
@@ -652,6 +718,7 @@ module Result = struct
       | Scalar { label; value } ->
         Jsonx.Obj [ ("label", Jsonx.Str label); ("value", jf value) ]
       | Fault_matrix cells -> Jsonx.Arr (List.map json_fault_cell cells)
+      | Fleet reports -> Jsonx.Arr (List.map json_fleet reports)
     in
     Jsonx.Obj [ ("kind", Jsonx.Str (kind t)); ("data", payload) ]
 
@@ -744,6 +811,31 @@ module Result = struct
               fl c.Fault_matrix.extra_downtime_s;
             ])
           cells )
+    | Fleet reports ->
+      ( [
+          "strategy"; "hosts"; "wave_width"; "slo"; "slo_floor"; "waves";
+          "makespan_s"; "offered"; "lost"; "loss_ratio"; "min_healthy";
+          "mean_healthy"; "slo_met"; "skipped";
+        ],
+        List.map
+          (fun (r : Fleet.report) ->
+            [
+              Wave.strategy_id r.Fleet.fr_strategy;
+              string_of_int r.Fleet.hosts;
+              string_of_int r.Fleet.wave_width;
+              fl r.Fleet.slo;
+              string_of_int r.Fleet.slo_floor;
+              string_of_int (List.length r.Fleet.waves);
+              fl r.Fleet.makespan_s;
+              string_of_int r.Fleet.offered;
+              string_of_int r.Fleet.lost;
+              fl r.Fleet.loss_ratio;
+              string_of_int r.Fleet.min_healthy;
+              fl r.Fleet.mean_healthy;
+              string_of_bool r.Fleet.slo_met;
+              string_of_int (List.length r.Fleet.skipped);
+            ])
+          reports )
 
   (* Shard results of one experiment concatenate; scalar-like results
      only "merge" when the batch produced exactly one of them. *)
@@ -758,6 +850,7 @@ module Result = struct
           | Timeline a, Timeline b -> Timeline (a @ b)
           | Availability a, Availability b -> Availability (a @ b)
           | Fault_matrix a, Fault_matrix b -> Fault_matrix (a @ b)
+          | Fleet a, Fleet b -> Fleet (a @ b)
           | _ ->
             invalid_arg
               (Printf.sprintf "Experiment.Result.merge: cannot merge %s + %s"
@@ -776,6 +869,10 @@ module Spec = struct
     mem_gib : int list option;
     site : string option;
     smoke : bool;
+    fleet_hosts : int list option;
+    wave_widths : int list option;
+    wave_strategy : Wave.strategy option;
+    slo : float;
   }
 
   let default_params =
@@ -787,6 +884,10 @@ module Spec = struct
       mem_gib = None;
       site = None;
       smoke = false;
+      fleet_hosts = None;
+      wave_widths = None;
+      wave_strategy = None;
+      slo = 0.75;
     }
 
   let ints_key = function
@@ -795,12 +896,16 @@ module Spec = struct
 
   let params_key p =
     Printf.sprintf
-      "seed=%d;workload=%s;strategy=%s;vm_counts=%s;mem_gib=%s;site=%s;smoke=%b"
+      "seed=%d;workload=%s;strategy=%s;vm_counts=%s;mem_gib=%s;site=%s;smoke=%b;fleet_hosts=%s;wave_widths=%s;wave_strategy=%s;slo=%g"
       p.seed
       (Scenario.workload_name p.workload)
       (Strategy.id p.strategy) (ints_key p.vm_counts) (ints_key p.mem_gib)
       (Option.value p.site ~default:"none")
       p.smoke
+      (ints_key p.fleet_hosts)
+      (ints_key p.wave_widths)
+      (Option.fold ~none:"default" ~some:Wave.strategy_id p.wave_strategy)
+      p.slo
 
   type nonrec t = {
     id : string;
@@ -834,6 +939,32 @@ module Spec = struct
 end
 
 let default_sweep_counts = [ 1; 3; 5; 7; 9; 11 ]
+
+(* The fleet grid: fleet size x wave width x wave strategy. [smoke]
+   shrinks it to one small warm cell for CI; pinned params (from a
+   shard, or a CLI override) shrink the corresponding axis. *)
+let fleet_grid (p : Spec.params) =
+  let hosts =
+    if p.Spec.smoke then [ 12 ]
+    else Option.value p.Spec.fleet_hosts ~default:[ 50; 200 ]
+  in
+  let widths =
+    if p.Spec.smoke then [ 3 ]
+    else Option.value p.Spec.wave_widths ~default:[ 4; 16 ]
+  in
+  let strategies =
+    if p.Spec.smoke then [ Wave.Reboot Strategy.Warm ]
+    else
+      match p.Spec.wave_strategy with
+      | Some s -> [ s ]
+      | None -> Wave.all_strategies
+  in
+  List.concat_map
+    (fun h ->
+      List.concat_map
+        (fun w -> List.map (fun s -> (h, w, s)) strategies)
+        widths)
+    hosts
 
 let () =
   let single id run =
@@ -970,6 +1101,37 @@ let () =
             in
             Result.Fault_matrix
               (Fault_matrix.run ~seed:p.Spec.seed ~cells ()));
+      };
+      {
+        Spec.id = "fleet_rolling";
+        doc =
+          "Fleet-scale rolling rejuvenation: fleet size x wave width x \
+           strategy";
+        (* One shard per grid cell; zero-padded sizes keep lexicographic
+           key order equal to grid order, so the merged result is
+           byte-identical to the sequential run. *)
+        shards =
+          (fun p ->
+            List.map
+              (fun (h, w, s) ->
+                ( Printf.sprintf "fleet_rolling/h=%04d/w=%03d/s=%s" h w
+                    (Wave.strategy_id s),
+                  {
+                    p with
+                    Spec.smoke = false;
+                    fleet_hosts = Some [ h ];
+                    wave_widths = Some [ w ];
+                    wave_strategy = Some s;
+                  } ))
+              (fleet_grid p));
+        run =
+          (fun p ->
+            Result.Fleet
+              (List.map
+                 (fun (hosts, width, strategy) ->
+                   fleet_cell ~seed:p.Spec.seed ~hosts ~width ~slo:p.Spec.slo
+                     ~strategy ())
+                 (fleet_grid p)));
       };
     ]
 

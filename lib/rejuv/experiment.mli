@@ -126,6 +126,17 @@ val section_5_6_fits : ?vm_counts:int list -> unit -> Downtime_model.fits
 (** Re-measure the model's component functions on the simulator and
     fit lines, as the paper does from its testbed. *)
 
+val fleet_cell :
+  seed:int ->
+  hosts:int ->
+  width:int ->
+  slo:float ->
+  strategy:Wave.strategy ->
+  unit ->
+  Fleet.report
+(** One cell of the ["fleet_rolling"] grid: build a fresh {!Fleet} on
+    its own engine, boot it, roll one full rejuvenation pass. *)
+
 (** {1 Uniform results}
 
     Every experiment's result, wrapped in one sum type so generic
@@ -147,6 +158,8 @@ module Result : sig
     | Scalar of { label : string; value : float }
     | Fault_matrix of Fault_matrix.cell list
         (** the fault-injection campaign *)
+    | Fleet of Fleet.report list
+        (** the fleet-scale rolling-rejuvenation grid *)
 
   val kind : t -> string
   (** Constructor name, for dispatch and the JSON envelope. *)
@@ -169,9 +182,9 @@ end
     Every entry point above is also registered as a {!Spec.t} under a
     stable id — ["fig4"], ["fig5"], ["fig6"], ["quick_reload"],
     ["os_rejuvenation"], ["availability"], ["fig7"], ["fig8_file"],
-    ["fig8_web"], ["section_5_6_fits"], ["fig9"], ["fault_matrix"] —
-    so the CLI, the bench harness and the sweep runner can enumerate
-    and run them uniformly. *)
+    ["fig8_web"], ["section_5_6_fits"], ["fig9"], ["fault_matrix"],
+    ["fleet_rolling"] — so the CLI, the bench harness and the sweep
+    runner can enumerate and run them uniformly. *)
 
 module Spec : sig
   type params = {
@@ -184,7 +197,16 @@ module Spec : sig
     site : string option;
         (** pins [fault_matrix] to one injection site; [None] = grid *)
     smoke : bool;
-        (** shrink [fault_matrix] to a single cell (CI smoke runs) *)
+        (** shrink [fault_matrix] / [fleet_rolling] to a single small
+            cell (CI smoke runs) *)
+    fleet_hosts : int list option;
+        (** [fleet_rolling] fleet sizes; [None] = [[50; 200]] *)
+    wave_widths : int list option;
+        (** [fleet_rolling] wave widths; [None] = [[4; 16]] *)
+    wave_strategy : Wave.strategy option;
+        (** pins [fleet_rolling] to one strategy; [None] = all four *)
+    slo : float;
+        (** [fleet_rolling] healthy-host fraction target; default 0.75 *)
   }
 
   val default_params : params

@@ -30,8 +30,8 @@ let smoke_grid = [ (Strategy.Warm, "xend.resume") ]
    armed site actually fired. *)
 let measure ~seed ~strategy ~arm =
   let scenario =
-    Scenario.create ~seed ~vm_count:2 ~driver_vm_count:1
-      ~vm_mem_bytes:(Simkit.Units.gib 1) ~workload:Scenario.Ssh ()
+    Scenario.create
+      { Scenario.Config.default with seed; vm_count = 2; driver_vm_count = 1 }
   in
   Roothammer.start_and_run scenario;
   let plan = Scenario.fault_plan scenario in

@@ -1,0 +1,293 @@
+module Vmm = Xenvmm.Vmm
+
+module Config = struct
+  type t = {
+    hosts : int;
+    host : Scenario.Config.t;
+    wave_width : int;
+    slo : float;
+    gap_s : float;
+    load_rate_per_s : float;
+    blind_dispatch : bool;
+    sample_interval_s : float;
+  }
+
+  let default =
+    {
+      hosts = 16;
+      host = Scenario.Config.default;
+      wave_width = 4;
+      slo = 0.7;
+      gap_s = 10.0;
+      load_rate_per_s = 200.0;
+      blind_dispatch = false;
+      sample_interval_s = 5.0;
+    }
+end
+
+type t = {
+  cfg : Config.t;
+  eng : Simkit.Engine.t;
+  cluster : Cluster_sim.t;
+  spare : Scenario.t;
+}
+
+let config t = t.cfg
+let engine t = t.eng
+let cluster t = t.cluster
+let spare t = t.spare
+let healthy_hosts t = Cluster_sim.healthy_hosts t.cluster
+
+let create (cfg : Config.t) =
+  let eng = Simkit.Engine.create ~seed:cfg.Config.host.Scenario.Config.seed () in
+  let cluster =
+    Cluster_sim.create ~engine:eng
+      {
+        Cluster_sim.Config.hosts = cfg.Config.hosts;
+        host = cfg.Config.host;
+        blind_dispatch = cfg.Config.blind_dispatch;
+      }
+  in
+  (* The spare host: powered VMM, no guests — a migration target only. *)
+  let spare =
+    Scenario.create
+      {
+        cfg.Config.host with
+        Scenario.Config.engine = Some eng;
+        vm_count = 0;
+        driver_vm_count = 0;
+        name_prefix = "spare-";
+      }
+  in
+  let t = { cfg; eng; cluster; spare } in
+  Obs.gauge "fleet.healthy_hosts" (fun () -> float_of_int (healthy_hosts t));
+  Obs.gauge "fleet.capacity_fraction" (fun () ->
+      float_of_int (healthy_hosts t) /. float_of_int cfg.Config.hosts);
+  t
+
+let start t =
+  let spare_up = ref false in
+  Scenario.start t.spare (fun () -> spare_up := true);
+  Cluster_sim.start t.cluster;
+  while (not !spare_up) && Simkit.Engine.step t.eng do () done;
+  if not !spare_up then
+    Simkit.Fault.fail (Simkit.Fault.Stalled "Fleet.start: spare host")
+
+(* --- per-host actions ---------------------------------------------------- *)
+
+let trace_host t i fmt =
+  Printf.ksprintf
+    (fun msg ->
+      Simkit.Trace.instant
+        (Scenario.trace (List.nth (Cluster_sim.nodes t.cluster) i))
+        (Printf.sprintf "fleet host %d: %s" (i + 1) msg))
+    fmt
+
+let rejuvenate_host t i ~strategy k =
+  let node = List.nth (Cluster_sim.nodes t.cluster) i in
+  Roothammer.rejuvenate node ~strategy (fun outcome ->
+      (match outcome.Recovery.fatal with
+      | Some f -> trace_host t i "not recovered: %s" (Simkit.Fault.to_string f)
+      | None -> ());
+      Obs.incr ~time:(Simkit.Engine.now t.eng) "fleet.hosts_rejuvenated";
+      k ())
+
+(* Evacuate the guests to the spare, warm-reboot the emptied VMM, bring
+   the guests home. Any failure is traced and the host abandoned in
+   whatever state it reached — the wave must not wedge, and the health
+   gauges already account for it. *)
+let migrate_then_reboot t i k =
+  let node = List.nth (Cluster_sim.nodes t.cluster) i in
+  let src = Scenario.vmm node in
+  let dst = Scenario.vmm t.spare in
+  let kernels = List.map Scenario.vm_kernel (Scenario.vms node) in
+  let dirty_bytes_per_s =
+    Migration.dirty_rate_of_workload
+      t.cfg.Config.host.Scenario.Config.workload
+  in
+  let give_up what e =
+    trace_host t i "%s failed: %s" what (Vmm.error_message e);
+    Obs.incr ~time:(Simkit.Engine.now t.eng) "fleet.hosts_rejuvenated";
+    k ()
+  in
+  Migration.evacuate ~src ~dst ~kernels ~dirty_bytes_per_s (function
+    | Error e -> give_up "evacuation" e
+    | Ok () ->
+      Vmm.shutdown_dom0 src (fun () ->
+          Vmm.quick_reload src (function
+            | Error e -> give_up "quick reload" e
+            | Ok () ->
+              Vmm.boot_dom0 src (fun () ->
+                  Migration.evacuate ~src:dst ~dst:src ~kernels
+                    ~dirty_bytes_per_s (function
+                    | Error e -> give_up "migration back" e
+                    | Ok () ->
+                      Obs.incr
+                        ~time:(Simkit.Engine.now t.eng)
+                        "fleet.hosts_rejuvenated";
+                      k ())))))
+
+let host_task t i ~strategy k =
+  match (strategy : Wave.strategy) with
+  | Wave.Reboot s -> rejuvenate_host t i ~strategy:s k
+  | Wave.Migrate -> migrate_then_reboot t i k
+
+(* --- the rolling pass ---------------------------------------------------- *)
+
+type wave_report = {
+  wave_index : int;
+  wave_hosts : int list;
+  started_at_s : float;
+  wave_makespan_s : float;
+  deferred : int;
+}
+
+type report = {
+  fr_strategy : Wave.strategy;
+  hosts : int;
+  wave_width : int;
+  slo : float;
+  slo_floor : int;
+  waves : wave_report list;
+  makespan_s : float;
+  offered : int;
+  lost : int;
+  loss_ratio : float;
+  min_healthy : int;
+  mean_healthy : float;
+  slo_met : bool;
+  skipped : int list;
+}
+
+let admission_retries = 25
+let admission_retry_s = 2.0
+
+(* Partition a wave's pending hosts into the ones the SLO guard admits
+   right now and the ones it defers. Taking down a healthy host costs
+   one unit of capacity; an already-unhealthy host costs none. All
+   checks happen in one simulated instant, so [taken] tracks the
+   healthy hosts this same decision is about to remove. *)
+let admit t ~slo_floor pending =
+  let healthy = healthy_hosts t in
+  let taken = ref 0 in
+  List.partition
+    (fun i ->
+      let cost = if Cluster_sim.host_healthy t.cluster i then 1 else 0 in
+      if healthy - !taken - cost >= slo_floor then begin
+        taken := !taken + cost;
+        true
+      end
+      else false)
+    pending
+
+let run t ~strategy =
+  let cfg = t.cfg in
+  let plan =
+    match
+      Wave.plan ~hosts:cfg.Config.hosts ~width:cfg.Config.wave_width
+        ~slo:cfg.Config.slo
+    with
+    | Ok p -> p
+    | Error (`Msg m) -> Simkit.Fault.fail (Simkit.Fault.Invariant m)
+  in
+  let load =
+    Cluster_sim.offer_load t.cluster ~rate_per_s:cfg.Config.load_rate_per_s
+  in
+  let min_healthy = ref (healthy_hosts t) in
+  let healthy_sum = ref 0.0 in
+  let healthy_n = ref 0 in
+  let sampler =
+    Simkit.Sampler.start t.eng ~name:"fleet-capacity"
+      ~interval_s:cfg.Config.sample_interval_s
+      ~gauge:(fun () ->
+        let h = healthy_hosts t in
+        if h < !min_healthy then min_healthy := h;
+        healthy_sum := !healthy_sum +. float_of_int h;
+        incr healthy_n;
+        float_of_int h)
+      ()
+  in
+  let t0 = Simkit.Engine.now t.eng in
+  let wave_reports = ref [] in
+  let skipped = ref [] in
+  let finished = ref false in
+  (* One wave: admit under the SLO guard, run the admitted hosts
+     (concurrently for reboots, serially for migrations — the spare and
+     the migration link are shared), then retry the deferred ones. *)
+  let rec run_wave idx pending ~admitted ~deferrals ~started_at k =
+    match admit t ~slo_floor:plan.Wave.slo_floor pending with
+    | [], [] ->
+      wave_reports :=
+        {
+          wave_index = idx;
+          wave_hosts = List.rev admitted;
+          started_at_s = started_at;
+          wave_makespan_s = Simkit.Engine.now t.eng -. started_at;
+          deferred = deferrals;
+        }
+        :: !wave_reports;
+      k ()
+    | [], waiting when deferrals >= admission_retries ->
+      List.iter (fun i -> trace_host t i "skipped: SLO guard") waiting;
+      skipped := !skipped @ waiting;
+      run_wave idx [] ~admitted ~deferrals ~started_at k
+    | [], waiting ->
+      Simkit.Process.delay t.eng admission_retry_s (fun () ->
+          run_wave idx waiting ~admitted ~deferrals:(deferrals + 1)
+            ~started_at k)
+    | now, waiting ->
+      let finish () =
+        run_wave idx waiting ~admitted:(List.rev_append now admitted)
+          ~deferrals ~started_at k
+      in
+      (match (strategy : Wave.strategy) with
+      | Wave.Reboot _ ->
+        Simkit.Process.par
+          (List.map (fun i k -> host_task t i ~strategy k) now)
+          finish
+      | Wave.Migrate ->
+        let rec serial = function
+          | [] -> finish ()
+          | i :: rest -> host_task t i ~strategy (fun () -> serial rest)
+        in
+        serial now)
+  in
+  let rec run_waves idx = function
+    | [] -> finished := true
+    | wave :: rest ->
+      Obs.set_gauge "fleet.wave_index" (float_of_int idx);
+      run_wave idx wave ~admitted:[] ~deferrals:0
+        ~started_at:(Simkit.Engine.now t.eng) (fun () ->
+          if rest = [] then finished := true
+          else
+            Simkit.Process.delay t.eng cfg.Config.gap_s (fun () ->
+                run_waves (idx + 1) rest))
+  in
+  run_waves 0 plan.Wave.waves;
+  while (not !finished) && Simkit.Engine.step t.eng do () done;
+  if not !finished then
+    Simkit.Fault.fail (Simkit.Fault.Stalled "Fleet.run");
+  (* Let probes and in-flight requests settle, then stop the plumbing. *)
+  Simkit.Engine.run ~until:(Simkit.Engine.now t.eng +. 5.0) t.eng;
+  Netsim.Poisson.stop load;
+  Simkit.Sampler.stop sampler;
+  let mean_healthy =
+    if !healthy_n = 0 then float_of_int (healthy_hosts t)
+    else !healthy_sum /. float_of_int !healthy_n
+  in
+  {
+    fr_strategy = strategy;
+    hosts = cfg.Config.hosts;
+    wave_width = plan.Wave.width;
+    slo = cfg.Config.slo;
+    slo_floor = plan.Wave.slo_floor;
+    waves = List.rev !wave_reports;
+    makespan_s = Simkit.Engine.now t.eng -. t0;
+    offered = Netsim.Poisson.offered load;
+    lost = Netsim.Poisson.lost load;
+    loss_ratio = Netsim.Poisson.loss_ratio load;
+    min_healthy = !min_healthy;
+    mean_healthy;
+    slo_met = !min_healthy >= plan.Wave.slo_floor;
+    skipped = !skipped;
+  }

@@ -1,0 +1,94 @@
+(** Fleet-scale rolling rejuvenation control plane.
+
+    Scales the {!Cluster_sim} pair-of-hosts picture up to a consolidated
+    {e fleet}: hundreds of hosts — each a full {!Scenario} stack — in
+    one simulation, plus one spare host kept empty as a migration
+    target. A {!Wave.plan} partitions the fleet into rolling waves; the
+    control plane walks the waves, rejuvenating each wave's hosts
+    concurrently (or migrating their guests away first), under an
+    open-loop Poisson client stream dispatched across the fleet.
+
+    The SLO guard is enforced twice. Statically, {!Wave.plan} caps the
+    wave width at the capacity slack above the SLO floor. Dynamically,
+    before each host is admitted into its wave the control plane checks
+    that the {e projected} healthy-host count — current healthy hosts
+    minus those the wave is about to take down — stays at or above the
+    floor; a host that would breach it is deferred (bounded retries)
+    and ultimately skipped rather than admitted.
+
+    Instrumented through [Obs]: [fleet.healthy_hosts] and
+    [fleet.capacity_fraction] pull gauges, a [fleet.wave_index] push
+    gauge, a [fleet.hosts_rejuvenated] counter, and a capacity sampler
+    whose series backs the [min_healthy]/[mean_healthy] report fields. *)
+
+module Config : sig
+  type t = {
+    hosts : int;  (** fleet size; default 16 *)
+    host : Scenario.Config.t;
+        (** per-host template, as in {!Cluster_sim.Config} *)
+    wave_width : int;
+        (** requested hosts per wave — clamped to the SLO slack by
+            {!Wave.plan}; default 4 *)
+    slo : float;
+        (** fraction of hosts that must stay healthy; default 0.7 *)
+    gap_s : float;  (** idle time between waves; default 10 s *)
+    load_rate_per_s : float;  (** Poisson client stream; default 200 req/s *)
+    blind_dispatch : bool;
+        (** health-oblivious dispatch (see {!Cluster_sim.Config}) *)
+    sample_interval_s : float;  (** capacity sampling period; default 5 s *)
+  }
+
+  val default : t
+end
+
+type t
+
+val create : Config.t -> t
+(** Build the fleet (and its spare host) on one engine seeded from
+    [host.seed], and register the fleet gauges into the ambient [Obs]
+    registry. Raises [Invalid_argument] on a non-positive fleet size. *)
+
+val config : t -> Config.t
+val engine : t -> Simkit.Engine.t
+val cluster : t -> Cluster_sim.t
+val spare : t -> Scenario.t
+val healthy_hosts : t -> int
+
+val start : t -> unit
+(** Boot every fleet host and the spare, driving the engine until all
+    are up. *)
+
+type wave_report = {
+  wave_index : int;
+  wave_hosts : int list;  (** hosts actually admitted *)
+  started_at_s : float;
+  wave_makespan_s : float;  (** admission start to last host recovered *)
+  deferred : int;  (** admission retries taken by this wave *)
+}
+
+type report = {
+  fr_strategy : Wave.strategy;
+  hosts : int;
+  wave_width : int;  (** effective width, after the SLO clamp *)
+  slo : float;
+  slo_floor : int;
+  waves : wave_report list;
+  makespan_s : float;  (** first wave start to last wave settled *)
+  offered : int;
+  lost : int;
+  loss_ratio : float;
+  min_healthy : int;  (** over capacity samples during the run *)
+  mean_healthy : float;
+  slo_met : bool;  (** [min_healthy >= slo_floor] *)
+  skipped : int list;
+      (** hosts never admitted — SLO guard exhausted its retries *)
+}
+
+val run : t -> strategy:Wave.strategy -> report
+(** Execute one full rolling pass over a started fleet: plan the waves,
+    start the load, walk the waves (driving the engine to completion),
+    settle, stop the load, and report. [Reboot] waves rejuvenate their
+    hosts concurrently; [Migrate] waves go host by host, because the
+    spare's memory and the migration link are shared. Per-host faults
+    are traced and do not wedge the pass — an unrecovered host simply
+    stays unhealthy (and counts against [min_healthy]). *)

@@ -4,8 +4,8 @@
 
     {[
       let scenario =
-        Rejuv.Scenario.create ~vm_count:11
-          ~vm_mem_bytes:(Simkit.Units.gib 1) ~workload:Rejuv.Scenario.Ssh ()
+        Rejuv.Scenario.create
+          { Rejuv.Scenario.Config.default with vm_count = 11 }
       in
       Rejuv.Roothammer.start_and_run scenario;
       let run =

@@ -13,10 +13,14 @@ type workload =
 
 val workload_name : workload -> string
 
+val workload_enum : workload Simkit.Enum.t
+(** ["ssh"], ["jboss"], ["web"] — ["web"] carries the Figure 7
+    cached-file defaults. Non-default [Web] payloads print through
+    {!workload_name}, not [Simkit.Enum.name]. *)
+
 val workload_of_string : string -> (workload, [> `Msg of string ]) result
-(** Parses ["ssh"], ["jboss"] or ["web"] (the Figure 7 cached-file web
-    workload with its defaults); the error message is CLI-ready, so
-    this doubles as a [Cmdliner.Arg.conv] parser. *)
+(** {!Simkit.Enum.of_string} on {!workload_enum}; the error message is
+    CLI-ready, so this doubles as a [Cmdliner.Arg.conv] parser. *)
 
 type vm
 
@@ -38,25 +42,54 @@ val vm_is_up : vm -> bool
 
 type t
 
-val create :
-  ?calibration:Calibration.t ->
-  ?seed:int ->
-  ?engine:Simkit.Engine.t ->
-  ?plan:Simkit.Fault.Plan.t ->
-  ?name_prefix:string ->
-  ?driver_vm_count:int ->
-  vm_count:int ->
-  vm_mem_bytes:int ->
-  workload:workload ->
-  unit ->
-  t
-(** Builds engine, host and powered-off VMM plus VM descriptors.
-    [driver_vm_count] (default 0) adds that many non-suspendable driver
-    domains on top of the ordinary VMs. Pass [engine] to place several
-    scenarios (hosts) in one simulation — a cluster; [name_prefix]
-    keeps their VM names distinct. [plan] is the fault-injection plan
-    wired into the VMM and the disk (default: a fresh plan seeded from
-    [seed] with nothing armed). *)
+(** Everything {!create} needs, as one overridable record. Start from
+    {!Config.default} and override fields — record update syntax
+    ([{ Config.default with vm_count = 3 }]) or the [with_*]
+    combinators, which pipeline:
+
+    {[
+      Scenario.Config.(default |> with_vms 3 |> with_workload Jboss)
+      |> Scenario.create
+    ]}
+
+    This replaces the old seven-optional-argument [create]; every knob
+    now has a name, a documented default, and travels as a value
+    (through {!Cluster_sim} and [Fleet], which stamp per-host prefixes
+    and engines onto a shared template). *)
+module Config : sig
+  type scenario_workload := workload
+
+  type t = {
+    calibration : Calibration.t;  (** timings; default {!Calibration.default} *)
+    seed : int;  (** engine + fault-plan seed when none passed; default 42 *)
+    vm_count : int;  (** ordinary (suspendable) VMs; default 1 *)
+    vm_mem_bytes : int;  (** per-VM memory; default 1 GiB *)
+    workload : scenario_workload;  (** installed in every VM; default [Ssh] *)
+    driver_vm_count : int;
+        (** extra non-suspendable driver domains (Section 7); default 0 *)
+    name_prefix : string;
+        (** prepended to VM names — keeps hosts distinct in a cluster *)
+    engine : Simkit.Engine.t option;
+        (** pass to place several scenarios (hosts) in one simulation *)
+    plan : Simkit.Fault.Plan.t option;
+        (** fault-injection plan wired into VMM and disk; default a
+            fresh plan seeded from [seed] with nothing armed *)
+  }
+
+  val default : t
+
+  val with_vms : ?mem_bytes:int -> int -> t -> t
+  val with_workload : scenario_workload -> t -> t
+  val with_seed : int -> t -> t
+  val with_calibration : Calibration.t -> t -> t
+  val with_drivers : int -> t -> t
+  val with_prefix : string -> t -> t
+  val on_engine : Simkit.Engine.t -> t -> t
+end
+
+val create : Config.t -> t
+(** Builds engine, host and powered-off VMM plus VM descriptors, per
+    the config. Raises [Invalid_argument] on negative VM counts. *)
 
 val engine : t -> Simkit.Engine.t
 val host : t -> Hw.Host.t

@@ -7,32 +7,20 @@ let name = function
   | Saved -> "saved-VM reboot"
   | Cold -> "cold-VM reboot"
 
-let id = function Warm -> "warm" | Saved -> "saved" | Cold -> "cold"
+let enum =
+  Simkit.Enum.make ~what:"strategy"
+    ~aliases:
+      [
+        ("warm-vm", Warm); ("warm-vm reboot", Warm);
+        ("saved-vm", Saved); ("saved-vm reboot", Saved);
+        ("cold-vm", Cold); ("cold-vm reboot", Cold);
+      ]
+    [ ("warm", Warm); ("saved", Saved); ("cold", Cold) ]
 
-let of_string s =
-  match String.lowercase_ascii s with
-  | "warm" | "warm-vm" | "warm-vm reboot" -> Some Warm
-  | "saved" | "saved-vm" | "saved-vm reboot" -> Some Saved
-  | "cold" | "cold-vm" | "cold-vm reboot" -> Some Cold
-  | _ -> None
-
-let of_string_result s =
-  match of_string s with
-  | Some t -> Ok t
-  | None ->
-    Error
-      (`Msg
-        (Printf.sprintf "unknown strategy %S; expected warm, saved or cold" s))
-
-let of_string_exn s =
-  match of_string s with
-  | Some t -> t
-  | None ->
-    invalid_arg
-      (Printf.sprintf
-         "Strategy.of_string_exn: unknown strategy %S (expected warm, saved \
-          or cold)"
-         s)
+let id = Simkit.Enum.name enum
+let of_string = Simkit.Enum.of_string_opt enum
+let of_string_result s = Simkit.Enum.of_string enum s
+let of_string_exn = Simkit.Enum.of_string_exn enum
 
 let pp ppf t = Format.pp_print_string ppf (name t)
 

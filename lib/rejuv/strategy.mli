@@ -14,11 +14,15 @@ val id : t -> string
 (** Short machine name — ["warm"], ["saved"] or ["cold"] — stable for
     CSV/JSON output and cache keys; accepted back by {!of_string}. *)
 
+val enum : t Simkit.Enum.t
+(** The {!Simkit.Enum} behind {!id} and the parsers: canonical names
+    ["warm"]/["saved"]/["cold"] plus the long spellings as aliases. *)
+
 val of_string : string -> t option
 
 val of_string_result : string -> (t, [> `Msg of string ]) result
-(** [of_string] with the rejection message a CLI wants — directly
-    usable as the parser half of a [Cmdliner.Arg.conv]. *)
+(** [of_string] with the uniform [Simkit.Enum] rejection message —
+    directly usable as the parser half of a [Cmdliner.Arg.conv]. *)
 
 val of_string_exn : string -> t
 (** @raise Invalid_argument on unknown names. *)

@@ -1,11 +1,10 @@
 type backend = Heap | Calendar
 
-let backend_name = function Heap -> "heap" | Calendar -> "calendar"
+let backend_enum =
+  Enum.make ~what:"queue backend" [ ("heap", Heap); ("calendar", Calendar) ]
 
-let backend_of_string = function
-  | "heap" -> Ok Heap
-  | "calendar" -> Ok Calendar
-  | s -> Error (`Msg (Printf.sprintf "unknown queue backend %S (heap|calendar)" s))
+let backend_name = Enum.name backend_enum
+let backend_of_string s = Enum.of_string backend_enum s
 
 (* --- calendar queue -------------------------------------------------------
 

@@ -18,6 +18,10 @@
 
 type backend = Heap | Calendar
 
+val backend_enum : backend Enum.t
+(** ["heap"] / ["calendar"] — the {!Enum} behind the two functions
+    below, exposed for CLI converters. *)
+
 val backend_name : backend -> string
 (** ["heap"] / ["calendar"]. *)
 

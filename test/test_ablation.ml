@@ -62,8 +62,8 @@ let test_driver_domain_increases_warm_downtime () =
      cold path. *)
   let scenario_downtime ~driver_vm_count =
     let s =
-      Scenario.create ~driver_vm_count ~vm_count:3 ~vm_mem_bytes:(gib 1)
-        ~workload:Scenario.Ssh ()
+      Scenario.create
+        { Scenario.Config.default with vm_count = 3; driver_vm_count }
     in
     Rejuv.Roothammer.start_and_run s;
     let probers = Scenario.attach_probers s () in
@@ -104,8 +104,8 @@ let test_driver_domain_increases_warm_downtime () =
 
 let test_driver_domain_comes_back () =
   let s =
-    Scenario.create ~driver_vm_count:1 ~vm_count:2 ~vm_mem_bytes:(gib 1)
-      ~workload:Scenario.Ssh ()
+    Scenario.create
+      { Scenario.Config.default with vm_count = 2; driver_vm_count = 1 }
   in
   Rejuv.Roothammer.start_and_run s;
   ignore (Rejuv.Roothammer.rejuvenate_blocking s ~strategy:Strategy.Warm);

@@ -4,11 +4,10 @@ open Helpers
 module Cs = Rejuv.Cluster_sim
 module Strategy = Rejuv.Strategy
 
-let gib = Simkit.Units.gib
-
-let make ?(hosts = 3) () =
-  Cs.create ~hosts ~vms_per_host:2 ~vm_mem_bytes:(gib 1)
-    ~workload:Rejuv.Scenario.Ssh ()
+(* [blind_dispatch] by default: the loss-band tests below measure the
+   paper's health-oblivious round-robin balancer. *)
+let make ?(hosts = 3) ?(blind_dispatch = true) () =
+  Cs.create { Cs.Config.default with hosts; blind_dispatch }
 
 let test_start_brings_all_hosts_up () =
   let c = make () in
@@ -78,6 +77,19 @@ let test_cluster_never_fully_dark () =
        (fun v -> v >= 2.0)
        (Simkit.Series.values (Simkit.Sampler.series sampler)))
 
+let test_healthy_dispatch_avoids_down_hosts () =
+  (* The default dispatcher skips rejuvenating hosts, so a rolling warm
+     pass loses almost nothing — only requests already in flight. *)
+  let c = make ~blind_dispatch:false () in
+  Cs.start c;
+  let r = Cs.rolling_rejuvenation c ~strategy:Strategy.Warm () in
+  check_true "served nearly everything" (r.Cs.loss_ratio < 0.01);
+  let blind = make () in
+  Cs.start blind;
+  let rb = Cs.rolling_rejuvenation blind ~strategy:Strategy.Warm () in
+  check_true "blind dispatch loses more"
+    (float_of_int rb.Cs.lost > 10.0 *. float_of_int (max r.Cs.lost 1))
+
 let suite =
   ( "cluster_sim",
     [
@@ -91,4 +103,6 @@ let suite =
       Alcotest.test_case "capacity timeline" `Slow
         test_capacity_timeline_dips_one_host_at_a_time;
       Alcotest.test_case "never fully dark" `Slow test_cluster_never_fully_dark;
+      Alcotest.test_case "healthy dispatch avoids down hosts" `Slow
+        test_healthy_dispatch_avoids_down_hosts;
     ] )

@@ -9,9 +9,12 @@ module Vmm = Xenvmm.Vmm
 
 let gib = Simkit.Units.gib
 
+let scenario vm_count =
+  Scenario.create { Scenario.Config.default with vm_count }
+
 let test_scenario_starts_all_vms () =
   let s =
-    Scenario.create ~vm_count:3 ~vm_mem_bytes:(gib 1) ~workload:Scenario.Ssh ()
+    scenario 3
   in
   Rejuv.Roothammer.start_and_run s;
   check_int "three VMs" 3 (List.length (Scenario.vms s));
@@ -22,7 +25,7 @@ let test_scenario_starts_all_vms () =
 
 let test_zero_vm_scenario () =
   let s =
-    Scenario.create ~vm_count:0 ~vm_mem_bytes:(gib 1) ~workload:Scenario.Ssh ()
+    scenario 0
   in
   Rejuv.Roothammer.start_and_run s;
   check_int "no VMs" 0 (List.length (Scenario.vms s))
@@ -72,8 +75,7 @@ let test_strategy_ranking () =
 let test_warm_preserves_cache_cold_does_not () =
   let check_cache strategy expected_fraction =
     let s =
-      Scenario.create ~vm_count:1 ~vm_mem_bytes:(gib 1)
-        ~workload:Scenario.Ssh ()
+  scenario 1
     in
     Rejuv.Roothammer.start_and_run s;
     let vm = List.hd (Scenario.vms s) in
@@ -101,7 +103,7 @@ let test_warm_preserves_cache_cold_does_not () =
 
 let test_saved_reboot_preserves_cache () =
   let s =
-    Scenario.create ~vm_count:1 ~vm_mem_bytes:(gib 1) ~workload:Scenario.Ssh ()
+    scenario 1
   in
   Rejuv.Roothammer.start_and_run s;
   let vm = List.hd (Scenario.vms s) in
@@ -114,7 +116,7 @@ let test_saved_reboot_preserves_cache () =
 
 let test_warm_reboot_rejuvenates_vmm () =
   let s =
-    Scenario.create ~vm_count:2 ~vm_mem_bytes:(gib 1) ~workload:Scenario.Ssh ()
+    scenario 2
   in
   Rejuv.Roothammer.start_and_run s;
   let vmm = Scenario.vmm s in
@@ -132,8 +134,7 @@ let test_warm_services_survive_without_restart () =
      services; the cold path must. *)
   let starting_count strategy =
     let s =
-      Scenario.create ~vm_count:1 ~vm_mem_bytes:(gib 1)
-        ~workload:Scenario.Ssh ()
+  scenario 1
     in
     Rejuv.Roothammer.start_and_run s;
     let vm = List.hd (Scenario.vms s) in
@@ -171,7 +172,7 @@ let test_consecutive_rejuvenations () =
   (* The system must survive repeated warm reboots (the steady-state
      usage pattern). *)
   let s =
-    Scenario.create ~vm_count:2 ~vm_mem_bytes:(gib 1) ~workload:Scenario.Ssh ()
+    scenario 2
   in
   Rejuv.Roothammer.start_and_run s;
   for i = 1 to 3 do
@@ -187,7 +188,7 @@ let test_consecutive_rejuvenations () =
 
 let test_mixed_strategies_in_sequence () =
   let s =
-    Scenario.create ~vm_count:2 ~vm_mem_bytes:(gib 1) ~workload:Scenario.Ssh ()
+    scenario 2
   in
   Rejuv.Roothammer.start_and_run s;
   List.iter
@@ -205,7 +206,7 @@ let test_aging_triggered_warm_reboot () =
   (* Proactive rejuvenation end-to-end: leaks accumulate, the trigger
      fires, a warm reboot clears them, services stay mostly up. *)
   let s =
-    Scenario.create ~vm_count:2 ~vm_mem_bytes:(gib 1) ~workload:Scenario.Ssh ()
+    scenario 2
   in
   let vmm = Scenario.vmm s in
   let aging = Xenvmm.Aging.attach ~config:Xenvmm.Aging.no_aging vmm in

@@ -126,8 +126,7 @@ let test_image_pp () =
 
 let test_warm_reboot_trace_has_expected_spans () =
   let s =
-    Rejuv.Scenario.create ~vm_count:2 ~vm_mem_bytes:(Simkit.Units.gib 1)
-      ~workload:Rejuv.Scenario.Ssh ()
+    Rejuv.Scenario.create { Rejuv.Scenario.Config.default with vm_count = 2 }
   in
   Rejuv.Roothammer.start_and_run s;
   ignore (Rejuv.Roothammer.rejuvenate_blocking s ~strategy:Strategy.Warm);

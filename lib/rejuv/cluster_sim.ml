@@ -5,7 +5,7 @@ module Config = struct
     blind_dispatch : bool;
   }
 
-  let default =
+  let default = (* simlint: allow D011 immutable template; the host config's engine/plan slots are None *)
     {
       hosts = 3;
       host = Scenario.Config.(default |> with_vms 2);

@@ -914,7 +914,7 @@ module Spec = struct
     run : params -> Result.t;
   }
 
-  let registry : (string, t) Hashtbl.t = Hashtbl.create 16
+  let registry : (string, t) Hashtbl.t = Hashtbl.create 16 (* simlint: allow D011 populated once at module init; read-only during runs *)
 
   let register spec =
     if Hashtbl.mem registry spec.id then

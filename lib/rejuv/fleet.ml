@@ -12,7 +12,7 @@ module Config = struct
     sample_interval_s : float;
   }
 
-  let default =
+  let default = (* simlint: allow D011 immutable template; the host config's engine/plan slots are None *)
     {
       hosts = 16;
       host = Scenario.Config.default;

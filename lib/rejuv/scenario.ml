@@ -169,7 +169,7 @@ module Config = struct
     plan : Simkit.Fault.Plan.t option;
   }
 
-  let default =
+  let default = (* simlint: allow D011 immutable template; engine and plan are None here *)
     {
       calibration = Calibration.default;
       seed = 42;

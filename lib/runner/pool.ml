@@ -50,7 +50,10 @@ let parallel_map ?jobs f tasks =
   if n = 0 then [||]
   else if jobs = 1 then Array.map f tasks
   else begin
-    let results = Array.make n None in
+    (* One atomic cell per task: each index is claimed exactly once,
+       but the claiming domain varies (stealing), so publish results
+       through Atomic rather than plain array writes. *)
+    let results = Array.init n (fun _ -> Atomic.make None) in
     let ranges =
       Array.init jobs (fun w ->
           { lo = w * n / jobs; hi = (w + 1) * n / jobs; lock = Mutex.create () })
@@ -61,7 +64,7 @@ let parallel_map ?jobs f tasks =
     in
     let run_one i =
       match f tasks.(i) with
-      | v -> results.(i) <- Some v
+      | v -> Atomic.set results.(i) (Some v)
       | exception e ->
         let bt = Printexc.get_raw_backtrace () in
         ignore (Atomic.compare_and_set failed None (Some (e, bt)))
@@ -101,7 +104,8 @@ let parallel_map ?jobs f tasks =
       own ()
     in
     let domains =
-      Array.init (jobs - 1) (fun k -> Domain.spawn (fun () -> worker (k + 1)))
+      Array.init (jobs - 1) (fun k ->
+          Domain.spawn (fun () -> worker (k + 1)) (* simlint: allow D010 tasks is written before spawn and only read by workers *))
     in
     worker 0;
     Array.iter Domain.join domains;
@@ -109,7 +113,8 @@ let parallel_map ?jobs f tasks =
     | Some (e, bt) -> Printexc.raise_with_backtrace e bt
     | None ->
       Array.map
-        (function
+        (fun cell ->
+          match Atomic.get cell with
           | Some v -> v
           | None -> assert false (* every index claimed exactly once *))
         results

@@ -1,0 +1,11 @@
+(* D003's commutative-fold recognizer: min/max in every spelling is
+   order-insensitive and accepted; a non-commutative combiner on the
+   last line is still flagged. *)
+
+let bare_min tbl = Hashtbl.fold (fun _ v acc -> min acc v) tbl max_int
+let bare_max tbl = Hashtbl.fold (fun _ v acc -> max acc v) tbl min_int
+let float_min tbl = Hashtbl.fold (fun _ v acc -> Float.min acc v) tbl infinity
+let float_max tbl = Hashtbl.fold (fun _ v acc -> Float.max acc v) tbl 0.0
+let int_min tbl = Hashtbl.fold (fun _ v acc -> Int.min acc v) tbl max_int
+let int_max tbl = Hashtbl.fold (fun _ v acc -> Int.max acc v) tbl min_int
+let subtraction tbl = Hashtbl.fold (fun _ v acc -> acc -. v) tbl 0.0

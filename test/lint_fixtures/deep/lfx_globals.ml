@@ -1,0 +1,16 @@
+(* D011 toplevel-global cases: mutable, atomic and DLS globals are all
+   flagged; immutable values and functions are not. *)
+
+let table : (string, int) Hashtbl.t = Hashtbl.create 8
+
+let counter = ref 0
+
+let slot = Domain.DLS.new_key (fun () -> ref 0)
+
+let hits = Atomic.make 0
+
+let limit = 42
+
+let label = "lintdeep"
+
+let succ_twice x = x + 2

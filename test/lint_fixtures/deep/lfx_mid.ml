@@ -1,0 +1,8 @@
+(* One wrapper deep: D009 flags [wrap_bad] and [reroll]; [wrap_ok]
+   stays clean because its primitive was waived at the source. *)
+
+let wrap_bad () = Lfx_clock.now_raw ()
+
+let wrap_ok () = Lfx_clock.now_ok ()
+
+let reroll () = Lfx_clock.roll ()

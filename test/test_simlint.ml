@@ -34,6 +34,13 @@ let test_d002 () =
     [ ("D002", 2, 22); ("D002", 3, 16) ]
     (Lint.lint_file (fixture "d002_random.ml"))
 
+let test_d003_commutative () =
+  (* min/max in every spelling is accepted; only the non-commutative
+     combiner on the last line fires. *)
+  check_findings "qualified min/max accepted"
+    [ ("D003", 11, 22) ]
+    (Lint.lint_file (fixture "d003_commutative.ml"))
+
 let test_d003 () =
   (* Only the escaping fold and the iter fire; the sorted-keys idiom
      and the commutative count in the same file stay clean. *)
@@ -95,6 +102,96 @@ let test_bad_suppression () =
     [ ("D003", 2, 12); ("D000", 2, 34); ("D003", 3, 12); ("D000", 3, 34) ]
     (Lint.lint_file (fixture "bad_suppression.ml"))
 
+(* --- the deep (typedtree) pass ------------------------------------------- *)
+
+module Typed = Simlint.Typed_lint
+
+(* The lintdeep fixture library is linked into this test executable, so
+   its cmts exist under the build tree by the time we run; tests execute
+   with cwd = _build/default/test, making these paths relative. *)
+let deep_input name =
+  {
+    Typed.cmt_path =
+      Filename.concat "lint_fixtures/deep/.lintdeep.objs/byte"
+        ("lintdeep__" ^ String.capitalize_ascii name ^ ".cmt");
+    as_path = Some (Printf.sprintf "lib/lintdeep/%s.ml" name);
+    source_path = Some (fixture (Filename.concat "deep" (name ^ ".ml")));
+  }
+
+let deep_analyze names = Typed.analyze_units (List.map deep_input names)
+
+let summarize_deep findings =
+  List.map
+    (fun (f : Typed.deep_finding) -> (f.df.rule, f.df.line, f.df.col))
+    findings
+
+let test_d009_taint_chain () =
+  let findings = deep_analyze [ "lfx_clock"; "lfx_mid"; "lfx_sim" ] in
+  (* Direct primitive uses in lfx_clock are D001/D002's findings, not
+     D009's; the waived-at-source read poisons nobody (wrap_ok and
+     healthy stay clean); both wrappers over the raw read and the
+     two-deep chain in lfx_sim fire. *)
+  Alcotest.(check (list (triple string int int)))
+    "indirect taint flagged at wrapper definitions"
+    [ ("D009", 4, 4); ("D009", 8, 4); ("D009", 4, 4) ]
+    (summarize_deep findings);
+  let step =
+    List.find
+      (fun (f : Typed.deep_finding) -> f.df.file = "lib/lintdeep/lfx_sim.ml")
+      findings
+  in
+  Alcotest.(check (list string))
+    "--why chain walks wrapper -> wrapper -> primitive"
+    [
+      "Lintdeep.Lfx_sim.step";
+      "Lintdeep.Lfx_mid.wrap_bad";
+      "Lintdeep.Lfx_clock.now_raw";
+      "Unix.gettimeofday";
+    ]
+    (List.map (fun (s : Simlint.Taint.chain_step) -> s.s_what) step.chain);
+  check_true "chain is rendered by --why"
+    (Simlint.Typed_lint.pp_deep ~why:true step
+    |> String.split_on_char '\n' |> List.length = 5)
+
+let test_d010_captures () =
+  (* Captured Hashtbl (directly or through a local helper) fires;
+     Atomic, fresh-alloc-inside-closure and Mutex-guarded cases do
+     not. *)
+  Alcotest.(check (list (triple string int int)))
+    "only unsynchronized captures flagged"
+    [ ("D010", 6, 10); ("D010", 40, 10) ]
+    (summarize_deep (deep_analyze [ "lfx_races" ]))
+
+let test_d011_globals () =
+  (* Hashtbl, ref, DLS key and Atomic globals fire; immutable values
+     and functions do not. *)
+  Alcotest.(check (list (triple string int int)))
+    "mutable toplevel globals flagged"
+    [ ("D011", 4, 4); ("D011", 6, 4); ("D011", 8, 4); ("D011", 10, 4) ]
+    (summarize_deep (deep_analyze [ "lfx_globals" ]))
+
+let test_sarif_output () =
+  let findings = deep_analyze [ "lfx_globals" ] in
+  let sarif = Typed.to_sarif findings in
+  List.iter
+    (fun frag ->
+      check_true (Printf.sprintf "sarif contains %s" frag)
+        (Simlint.Allow.contains ~sub:frag sarif))
+    [
+      "\"version\":\"2.1.0\"";
+      "\"ruleId\":\"D011\"";
+      "\"uri\":\"lib/lintdeep/lfx_globals.ml\"";
+      "\"startLine\":4";
+      "toplevel mutable global in lib/";
+    ]
+
+let test_json_titles () =
+  let json = Lint.to_json (Lint.lint_file (fixture "d001_wall_clock.ml")) in
+  check_true "json findings carry rule titles"
+    (Simlint.Allow.contains
+       ~sub:"\"title\":\"wall-clock read outside lib/runner/ and bench/\""
+       json)
+
 (* --- the repository itself ---------------------------------------------- *)
 
 (* Tests run under _build/default/test; the checked-out tree is
@@ -119,6 +216,22 @@ let test_repo_lints_clean () =
       Alcotest.failf "repo has %d lint finding(s), first: %s"
         (List.length findings)
         (Lint.pp_finding (List.hd findings))
+
+let test_repo_deep_lints_clean () =
+  (* The audited tree under the interprocedural rules: lib/ carries no
+     unwaived D009/D010/D011 — the same gate `dune build @lint-deep`
+     applies in CI. *)
+  match repo_root () with
+  | None -> Alcotest.skip ()
+  | Some root ->
+    let build = Filename.concat root (Filename.concat "_build" "default") in
+    if not (Sys.file_exists build) then Alcotest.skip ()
+    else
+      let findings = Typed.analyze_build ~build ~prefixes:[ "lib" ] in
+      if findings <> [] then
+        Alcotest.failf "repo has %d deep lint finding(s), first: %s"
+          (List.length findings)
+          (Typed.pp_deep ~why:true (List.hd findings))
 
 (* --- dynamic counterparts of the static rules ---------------------------- *)
 
@@ -148,6 +261,7 @@ let suite =
       Alcotest.test_case "D001 allowlisted dir" `Quick test_d001_allowlisted_dir;
       Alcotest.test_case "D002 ambient randomness" `Quick test_d002;
       Alcotest.test_case "D003 hash-order traversal" `Quick test_d003;
+      Alcotest.test_case "D003 commutative min/max" `Quick test_d003_commutative;
       Alcotest.test_case "D004 raw domains" `Quick test_d004;
       Alcotest.test_case "D004 path-aware shadowing" `Quick test_d004_path_aware;
       Alcotest.test_case "D005 unsafe casts" `Quick test_d005;
@@ -157,7 +271,17 @@ let suite =
       Alcotest.test_case "clean fixture passes" `Quick test_clean;
       Alcotest.test_case "suppression honored" `Quick test_suppression;
       Alcotest.test_case "bad suppression reported" `Quick test_bad_suppression;
+      Alcotest.test_case "D009 taint through wrapper chain" `Quick
+        test_d009_taint_chain;
+      Alcotest.test_case "D010 domain-boundary captures" `Quick
+        test_d010_captures;
+      Alcotest.test_case "D011 toplevel mutable globals" `Quick
+        test_d011_globals;
+      Alcotest.test_case "SARIF output" `Quick test_sarif_output;
+      Alcotest.test_case "JSON carries rule titles" `Quick test_json_titles;
       Alcotest.test_case "repo lints clean" `Quick test_repo_lints_clean;
+      Alcotest.test_case "repo deep-lints clean" `Quick
+        test_repo_deep_lints_clean;
       Alcotest.test_case "registry listing stable" `Quick
         test_registry_listing_stable;
       Alcotest.test_case "same seed -> byte-identical result" `Quick

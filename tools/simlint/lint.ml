@@ -28,6 +28,7 @@ let finding_to_jsonx (f : finding) =
         ("line", Int f.line);
         ("col", Int f.col);
         ("rule", Str f.rule);
+        ("title", Str (Rules.rule_title f.rule));
         ("message", Str f.message);
       ])
 

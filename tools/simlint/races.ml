@@ -1,0 +1,254 @@
+(* D010/D011: the domain-race detector.
+
+   The heart is a mutability oracle over [Types.type_expr]: does a
+   value of this type contain structure that another domain could
+   observe being mutated? Stdlib mutable containers are built in;
+   repo-defined types are resolved through the type declarations
+   collected from the cmts (records with mutable fields, variants
+   carrying mutable payloads, abbreviations). Synchronized wrappers are
+   distinguished from raw mutability:
+
+     - [Atomic.t] is the sanctioned cross-domain cell: safe.
+     - a record that pairs its mutable fields with a [Mutex.t] field is
+       "self-guarded" (the Pool's work-stealing ranges);
+     - an array whose elements are atomics or guarded records is
+       treated as guarded (a fixed arena of synchronized cells);
+     - [Domain.DLS.key] is per-domain by construction — safe to capture
+       (D010) but still a toplevel global hazard (D011), because
+       domain-local state persists across tasks scheduled onto the same
+       worker and so can leak between runs.
+
+   D010 fires per captured value at a domain-boundary closure site
+   (Domain.spawn, Runner.Pool.parallel_map, Runner.Sweep.task). A
+   closure that also captures a bare [Mutex.t] is assumed to use it —
+   "Mutex-guarded in the same module" — and is not flagged. Values
+   allocated inside the closure never appear: they are bound there, not
+   captured (see Callgraph.free_vars).
+
+   D011 fires on toplevel lib/ globals whose type is mutable, atomic,
+   lock-guarded, or a DLS key: all of them are state that outlives a
+   single run. The sanctioned instances (the obs ambient registry, the
+   engine's DLS counters) carry reasoned entries in allow.ml. *)
+
+type verdict =
+  | Immut
+  | Mut of string  (** witness: which mutable structure was found *)
+  | Guarded  (** mutable but paired with its own lock / atomic cells *)
+  | AtomicT
+  | Dls
+  | Sync  (** a bare synchronization primitive (Mutex, Condition, ...) *)
+
+let rank = function
+  | Mut _ -> 5
+  | Dls -> 4
+  | AtomicT -> 3
+  | Guarded -> 2
+  | Sync -> 1
+  | Immut -> 0
+
+let join a b = if rank a >= rank b then a else b
+let join_all l = List.fold_left join Immut l
+
+let builtin_mutable =
+  [
+    ("ref", "ref cell");
+    ("array", "array");
+    ("bytes", "bytes");
+    ("Bytes.t", "bytes");
+    ("Hashtbl.t", "Hashtbl.t");
+    ("Buffer.t", "Buffer.t");
+    ("Queue.t", "Queue.t");
+    ("Stack.t", "Stack.t");
+    ("lazy_t", "lazy thunk");
+    ("Lazy.t", "lazy thunk");
+  ]
+
+let sync_prims =
+  [ "Mutex.t"; "Condition.t"; "Semaphore.Counting.t"; "Semaphore.Binary.t" ]
+
+type oracle = {
+  decls : (string, Types.type_declaration * (Path.t -> string)) Hashtbl.t;
+}
+
+let oracle_of_units units =
+  let decls = Hashtbl.create 128 in
+  List.iter
+    (fun (u : Callgraph.unit_info) ->
+      List.iter
+        (fun (name, decl) ->
+          if not (Hashtbl.mem decls name) then
+            Hashtbl.add decls name (decl, u.canon_of_path))
+        u.decls)
+    units;
+  { decls }
+
+let rec classify o ~canon ~visiting ty =
+  match Types.get_desc ty with
+  | Types.Tarrow _ -> Immut (* opaque: a closure's captures are its own *)
+  | Types.Ttuple l -> join_all (List.map (classify o ~canon ~visiting) l)
+  | Types.Tpoly (t, _) -> classify o ~canon ~visiting t
+  | Types.Tconstr (p, args, _) -> (
+    let name = canon p in
+    if String.equal name "Atomic.t" then AtomicT
+    else if String.equal name "Domain.DLS.key" then Dls
+    else if List.mem name sync_prims then Sync
+    else if String.equal name "array" || String.equal name "Array.t"
+            || String.equal name "Float.Array.t" then
+      match join_all (List.map (classify o ~canon ~visiting) args) with
+      | AtomicT | Guarded | Sync -> Guarded
+      | _ -> Mut "array"
+    else
+      match List.assoc_opt name builtin_mutable with
+      | Some witness -> Mut witness
+      | None -> (
+        match Hashtbl.find_opt o.decls name with
+        | Some (decl, dcanon) ->
+          if List.mem name visiting then Immut (* recursive type: cycle *)
+          else
+            classify_decl o ~canon:dcanon ~visiting:(name :: visiting) name
+              decl
+        | None ->
+          (* Unknown constructor (stdlib/external): assume a persistent
+             spine but look through the arguments, so e.g. an
+             [int ref list] still reads as mutable. *)
+          join_all (List.map (classify o ~canon ~visiting) args)))
+  | _ -> Immut
+
+and classify_decl o ~canon ~visiting name decl =
+  ignore name;
+  match decl.Types.type_kind with
+  | Types.Type_record (lds, _) -> classify_record o ~canon ~visiting lds
+  | Types.Type_variant (cds, _) ->
+    join_all
+      (List.map
+         (fun (cd : Types.constructor_declaration) ->
+           match cd.Types.cd_args with
+           | Types.Cstr_tuple tys ->
+             join_all (List.map (classify o ~canon ~visiting) tys)
+           | Types.Cstr_record lds -> classify_record o ~canon ~visiting lds)
+         cds)
+  | Types.Type_abstract | Types.Type_open -> (
+    (* An abbreviation classifies as its manifest; a truly abstract
+       type is opaque and read as immutable. *)
+    match decl.Types.type_manifest with
+    | Some t -> classify o ~canon ~visiting t
+    | None -> Immut)
+
+and classify_record o ~canon ~visiting lds =
+  let has_mut_field =
+    List.exists
+      (fun (ld : Types.label_declaration) -> ld.Types.ld_mutable = Asttypes.Mutable)
+      lds
+  in
+  let field_verdicts =
+    List.map
+      (fun (ld : Types.label_declaration) ->
+        classify o ~canon ~visiting ld.Types.ld_type)
+      lds
+  in
+  let has_sync =
+    List.exists (fun v -> v = Sync || v = AtomicT) field_verdicts
+  in
+  if has_mut_field then
+    if has_sync then Guarded
+    else
+      let witness =
+        List.find_map
+          (fun (ld : Types.label_declaration) ->
+            if ld.Types.ld_mutable = Asttypes.Mutable then
+              Some ("mutable field " ^ Ident.name ld.Types.ld_id)
+            else None)
+          lds
+      in
+      Mut (Option.value witness ~default:"mutable record field")
+  else
+    match join_all field_verdicts with
+    | Mut w -> if has_sync then Guarded else Mut w
+    | v -> v
+
+let classify_ty o ~canon ty = classify o ~canon ~visiting:[] ty
+
+(* --- D010 ---------------------------------------------------------------- *)
+
+let mk ~file ~(loc : Location.t) rule message =
+  let p = loc.loc_start in
+  {
+    Rules.file;
+    line = p.pos_lnum;
+    col = p.pos_cnum - p.pos_bol;
+    rule;
+    message;
+  }
+
+let d010 o (u : Callgraph.unit_info) =
+  List.concat_map
+    (fun (s : Callgraph.spawn_site) ->
+      let verdicts =
+        List.map
+          (fun (c : Callgraph.capture) ->
+            (c, classify_ty o ~canon:u.canon_of_path c.cap_ty))
+          s.captures
+      in
+      let lock_captured =
+        List.exists (fun ((_ : Callgraph.capture), v) -> v = Sync) verdicts
+      in
+      if lock_captured then []
+      else
+        List.filter_map
+          (fun ((c : Callgraph.capture), v) ->
+            match v with
+            | Mut witness ->
+              Some
+                (mk ~file:u.src ~loc:s.spawn_loc "D010"
+                   (Printf.sprintf
+                      "closure passed to %s captures `%s`, whose type \
+                       contains unsynchronized mutable state (%s): share \
+                       it as Atomic.t cells, guard it with a Mutex, or \
+                       allocate it fresh inside the task"
+                      s.spawn_what c.cap_name witness))
+            | _ -> None)
+          verdicts)
+    u.spawns
+
+(* --- D011 ---------------------------------------------------------------- *)
+
+let d011 o (u : Callgraph.unit_info) =
+  if not (Allow.under_prefix ~prefix:"lib/" u.src) then []
+  else
+    List.filter_map
+      (fun (g : Callgraph.global) ->
+        if Callgraph.is_arrow g.g_ty then None
+        else
+          let describe kind fix =
+            Some
+              (mk ~file:u.src ~loc:g.g_loc "D011"
+                 (Printf.sprintf
+                    "toplevel %s `%s` in lib/ is state that outlives a \
+                     single run; %s"
+                    kind g.g_key fix))
+          in
+          match classify_ty o ~canon:u.canon_of_path g.g_ty with
+          | Mut witness ->
+            describe
+              (Printf.sprintf "mutable global (%s)" witness)
+              "thread it through per-run state or add a reasoned allow.ml \
+               entry"
+          | AtomicT ->
+            describe "Atomic.t global"
+              "atomics are race-free but still shared across runs; prefer \
+               per-run state"
+          | Guarded ->
+            describe "lock-guarded global"
+              "locks serialize access but the state still leaks between \
+               runs; prefer per-run state"
+          | Dls ->
+            describe "Domain.DLS key"
+              "domain-local state persists across tasks scheduled onto \
+               the same worker; sanctioned instances need a reasoned \
+               allow.ml entry"
+          | Sync | Immut -> None)
+      u.globals
+
+let analyze ~units =
+  let o = oracle_of_units units in
+  List.concat_map (fun u -> d010 o u @ d011 o u) units

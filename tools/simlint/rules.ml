@@ -31,9 +31,20 @@ let catalogue =
     ("D006", "direct stdout printing inside lib/; use Report/Trace");
     ("D007", "exception-swallowing wildcard handler");
     ("D008", "failwith/Failure raise inside lib/; report a typed Simkit.Fault");
+    (* D009-D011 are produced by the typedtree (cmt) pass; they live in
+       the same catalogue so inline suppressions validate uniformly. *)
+    ("D009", "function transitively reaches wall-clock or ambient RNG");
+    ("D010", "closure crossing a domain boundary captures mutable state");
+    ("D011", "toplevel mutable global in lib/");
   ]
 
 let known_rule id = List.mem_assoc id catalogue
+
+(* D000 is the checker's own "malformed suppression" diagnostic; it is
+   deliberately not suppressible, hence not in the catalogue. *)
+let rule_title id =
+  if String.equal id "D000" then "malformed simlint suppression comment"
+  else Option.value (List.assoc_opt id catalogue) ~default:id
 
 (* --- small helpers ------------------------------------------------------ *)
 
@@ -82,6 +93,16 @@ let rec split_fun params e =
 let commutative_ops =
   [ "+"; "+."; "*"; "*."; "land"; "lor"; "lxor"; "max"; "min"; "&&"; "||" ]
 
+(* The module-qualified spellings of min/max are just as commutative
+   and associative as the bare operators. *)
+let commutative_qualified =
+  [
+    [ "Float"; "min" ];
+    [ "Float"; "max" ];
+    [ "Int"; "min" ];
+    [ "Int"; "max" ];
+  ]
+
 (* True when every path through the body either returns the accumulator
    unchanged or combines it with a commutative, associative operator —
    sums, counts, maxima — so the traversal order cannot be observed.
@@ -97,6 +118,7 @@ let order_insensitive ~acc body =
     | Pexp_apply (f, [ (_, a); (_, b) ]) -> (
       match head_path f with
       | Some [ op ] when List.mem op commutative_ops -> ok a || ok b
+      | Some p when List.mem p commutative_qualified -> ok a || ok b
       | _ -> false)
     | _ -> false
   in

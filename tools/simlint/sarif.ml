@@ -1,0 +1,73 @@
+(* SARIF 2.1.0 output, the minimal subset GitHub code scanning
+   ingests: one run, the rule catalogue as the driver's rules, one
+   result per finding with a physical location. Columns are 1-based in
+   SARIF where our findings are 0-based, matching the compiler. *)
+
+let rule_obj (id, title) =
+  Simkit.Jsonx.(
+    Obj
+      [
+        ("id", Str id);
+        ("name", Str id);
+        ("shortDescription", Obj [ ("text", Str title) ]);
+      ])
+
+let result_obj (f : Rules.finding) =
+  Simkit.Jsonx.(
+    Obj
+      [
+        ("ruleId", Str f.rule);
+        ("level", Str "error");
+        ("message", Obj [ ("text", Str f.message) ]);
+        ( "locations",
+          Arr
+            [
+              Obj
+                [
+                  ( "physicalLocation",
+                    Obj
+                      [
+                        ("artifactLocation", Obj [ ("uri", Str f.file) ]);
+                        ( "region",
+                          Obj
+                            [
+                              ("startLine", Int f.line);
+                              ("startColumn", Int (f.col + 1));
+                            ] );
+                      ] );
+                ];
+            ] );
+      ])
+
+let to_string findings =
+  let rules =
+    ("D000", Rules.rule_title "D000") :: Rules.catalogue |> List.map rule_obj
+  in
+  Simkit.Jsonx.(
+    to_string
+      (Obj
+         [
+           ( "$schema",
+             Str
+               "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/Schemata/sarif-schema-2.1.0.json"
+           );
+           ("version", Str "2.1.0");
+           ( "runs",
+             Arr
+               [
+                 Obj
+                   [
+                     ( "tool",
+                       Obj
+                         [
+                           ( "driver",
+                             Obj
+                               [
+                                 ("name", Str "simlint");
+                                 ("rules", Arr rules);
+                               ] );
+                         ] );
+                     ("results", Arr (List.map result_obj findings));
+                   ];
+               ] );
+         ]))

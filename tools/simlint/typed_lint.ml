@@ -1,0 +1,175 @@
+(* Driver for the deep (typedtree) pass: discover .cmt files under the
+   dune build directory, distill them (Callgraph), run the
+   interprocedural analyses (Taint for D009, Races for D010/D011),
+   then subtract inline suppressions and allow.ml entries exactly like
+   the Parsetree pass does.
+
+   The pass runs from the `@lint-deep` alias, whose rule depends on
+   `(alias_rec check)` so every cmt exists before we look, and executes
+   with the build directory as cwd — sources are copied there, so
+   suppression comments are read from the same tree the cmts were
+   compiled from. The test suite instead feeds fixture cmts directly
+   with an [as_path] override, the same trick [Lint.lint_file] uses. *)
+
+type deep_finding = { df : Rules.finding; chain : Taint.chain_step list }
+
+type unit_input = {
+  cmt_path : string;
+  as_path : string option;  (** analyze as if the source lived here *)
+  source_path : string option;  (** real file to read suppressions from *)
+}
+
+(* --- discovery ----------------------------------------------------------- *)
+
+let rec collect_cmts acc path =
+  if Sys.is_directory path then
+    Sys.readdir path |> Array.to_list |> List.sort String.compare
+    |> List.fold_left (fun acc f -> collect_cmts acc (Filename.concat path f)) acc
+  else if Filename.check_suffix path ".cmt" then path :: acc
+  else acc
+
+let discover ~build = List.rev (collect_cmts [] build)
+
+(* --- analysis ------------------------------------------------------------ *)
+
+let under_any ~prefixes src =
+  List.exists
+    (fun p ->
+      let p = Allow.normalize p in
+      let p =
+        if String.length p > 0 && p.[String.length p - 1] = '/' then p
+        else p ^ "/"
+      in
+      String.starts_with ~prefix:p src)
+    prefixes
+
+(* Read cmts, dropping interface-only/partial ones and duplicate
+   compilations of the same module (dune can leave byte and native
+   objs dirs). [pairs] carry the real path suppressions are read from. *)
+let read_pairs inputs =
+  let seen = Hashtbl.create 64 in
+  List.filter_map
+    (fun i ->
+      match Callgraph.read ?as_path:i.as_path i.cmt_path with
+      | Some raw when not (Hashtbl.mem seen raw.Callgraph.r_modname) ->
+        Hashtbl.add seen raw.Callgraph.r_modname ();
+        Some (raw, Option.value i.source_path ~default:raw.Callgraph.r_src)
+      | _ -> None)
+    inputs
+
+let analyze_pairs pairs =
+  let sources = List.map (fun (r, sp) -> (r.Callgraph.r_src, sp)) pairs in
+  let units = Callgraph.load ~units_raw:(List.map fst pairs) in
+  (* Inline suppressions, read lazily per logical source file from the
+     real file that was compiled. *)
+  let supp_cache : (string, Lint.suppression list) Hashtbl.t =
+    Hashtbl.create 16
+  in
+  let suppressions_of file =
+    match Hashtbl.find_opt supp_cache file with
+    | Some s -> s
+    | None ->
+      let s =
+        match List.assoc_opt file sources with
+        | Some real when Sys.file_exists real ->
+          fst (Lint.scan_suppressions ~file (Lint.read_file real))
+        | _ -> []
+      in
+      Hashtbl.add supp_cache file s;
+      s
+  in
+  let suppressed ~file ~line ~rule =
+    List.exists
+      (fun (s : Lint.suppression) -> s.on_line = line && s.srule = rule)
+      (suppressions_of file)
+  in
+  let d009 =
+    Taint.analyze ~units ~suppressed
+    |> List.map (fun (t : Taint.finding) -> { df = t.f; chain = t.chain })
+  in
+  let d010_11 =
+    Races.analyze ~units
+    |> List.filter (fun (f : Rules.finding) ->
+           (not (suppressed ~file:f.file ~line:f.line ~rule:f.rule))
+           && not (Allow.allowed ~rule:f.rule ~path:f.file))
+    |> List.map (fun f -> { df = f; chain = [] })
+  in
+  List.sort
+    (fun a b ->
+      compare
+        (a.df.file, a.df.line, a.df.col, a.df.rule, a.df.message)
+        (b.df.file, b.df.line, b.df.col, b.df.rule, b.df.message))
+    (d009 @ d010_11)
+
+let analyze_units inputs = analyze_pairs (read_pairs inputs)
+
+(* Whole-build scan: every cmt is read, but only units whose source
+   sits under one of the requested prefixes take part, so fixture
+   libraries under test/ and executables under bin/ never pollute a
+   lib/ scan. *)
+let analyze_build ~build ~prefixes =
+  let inputs =
+    discover ~build
+    |> List.map (fun c -> { cmt_path = c; as_path = None; source_path = None })
+  in
+  let pairs =
+    read_pairs inputs
+    |> List.filter (fun (r, _) -> under_any ~prefixes r.Callgraph.r_src)
+    (* Sources are copied into the build tree next to the cmts;
+       resolve them relative to it so suppressions are found no matter
+       where the process itself is running. *)
+    |> List.map (fun (r, _) -> (r, Filename.concat build r.Callgraph.r_src))
+  in
+  analyze_pairs pairs
+
+(* --- rendering ----------------------------------------------------------- *)
+
+let pp_chain chain =
+  List.mapi
+    (fun i (s : Taint.chain_step) ->
+      Printf.sprintf "    %s %s (%s:%d)"
+        (if i = 0 then "why:" else "  ->")
+        s.s_what s.s_file s.s_line)
+    chain
+
+let pp_deep ~why f =
+  let head = Lint.pp_finding f.df in
+  if why && f.chain <> [] then String.concat "\n" (head :: pp_chain f.chain)
+  else head
+
+let to_jsonx f =
+  let base =
+    match Lint.finding_to_jsonx f.df with
+    | Simkit.Jsonx.Obj fields -> fields
+    | j -> [ ("finding", j) ]
+  in
+  Simkit.Jsonx.Obj
+    (base
+    @
+    if f.chain = [] then []
+    else
+      [
+        ( "chain",
+          Simkit.Jsonx.Arr
+            (List.map
+               (fun (s : Taint.chain_step) ->
+                 Simkit.Jsonx.(
+                   Obj
+                     [
+                       ("what", Str s.s_what);
+                       ("file", Str s.s_file);
+                       ("line", Int s.s_line);
+                     ]))
+               f.chain) );
+      ])
+
+let to_json findings =
+  Simkit.Jsonx.(
+    to_string
+      (Obj
+         [
+           ("count", Int (List.length findings));
+           ("findings", Arr (List.map to_jsonx findings));
+         ]))
+
+let to_sarif findings = Sarif.to_string (List.map (fun f -> f.df) findings)

@@ -5,7 +5,8 @@
 
    Usage: main.exe [-j N] [tag ...] where tag is one of
    fig4 fig5 reload fig6a fig6b avail fig7 fig8a fig8b fits policy fig9
-   migration ablation faults sweep eventcore micro. No tags = everything. The swept
+   migration ablation cluster fleet parfleet sensitivity faults sweep
+   eventcore micro. No tags = everything. The swept
    figures (fig4/fig5/fig6) run their points through the parallel sweep
    runner on N domains (default: the machine's). *)
 
@@ -22,12 +23,12 @@ let jobs = ref (Runner.Pool.default_jobs ())
 
    Each section records its headline numbers; the driver adds simulator
    self-metrics (wall time, events, events/s) per section and writes the
-   whole batch as a roothammer-bench/1 file (default BENCH_PR6.json).
+   whole batch as a roothammer-bench/1 file (default BENCH_PR8.json).
    Simulation outputs get a tolerance band and are gated by
    `benchstat --check` against the committed BENCH_BASELINE.json;
    timing self-metrics are informational (tolerance null). *)
 
-let bench_out = ref "BENCH_PR6.json"
+let bench_out = ref "BENCH_PR8.json"
 let bench_metrics : (string * Benchstat.Check.metric) list ref = ref []
 
 let record ?(unit_ = "s")
@@ -508,6 +509,59 @@ let fleet () =
   | Ok _ -> assert false
   | Error f -> Simkit.Fault.fail f
 
+(* --- Partitioned fleet: intra-run parallelism ------------------------------ *)
+
+(* The same 200-host warm cell, run whole on 1 shard and spread over 4.
+   Two machine-independent gates: the reports must agree to the byte
+   (the property the sweep cache and the CLI lean on), and on real
+   multicore hardware 4 shards must be at least 2x faster. The speedup
+   gate holds vacuously below 4 effective cores — a 1-core CI runner
+   can't parallelize anything — and says so. *)
+let parfleet () =
+  header "Partitioned fleet: the 200-host warm cell on 1 vs 4 shards";
+  pf "same seed, same cell; partitions only spread its hosts over domains@.";
+  let cell partitions =
+    let t0 = Unix.gettimeofday () in
+    let ev0 = Simkit.Engine.domain_events_processed () in
+    let r =
+      Rejuv.Experiment.fleet_cell ~partitions ~seed:42 ~hosts:200 ~width:16
+        ~slo:0.75
+        ~strategy:(Rejuv.Wave.Reboot Rejuv.Strategy.Warm)
+        ()
+    in
+    let wall = Unix.gettimeofday () -. t0 in
+    let events = Simkit.Engine.domain_events_processed () - ev0 in
+    (Rejuv.Experiment.Result.(to_json (Fleet [ r ])), wall, events)
+  in
+  let j1, w1, e1 = cell 1 in
+  let j4, w4, e4 = cell 4 in
+  let agree = j1 = j4 in
+  let conserved = e1 = e4 in
+  let speedup = if w4 > 0.0 then w1 /. w4 else 0.0 in
+  let cores = Runner.Pool.default_jobs () in
+  pf "partitions=1: %8.2f s  %9d events@." w1 e1;
+  pf "partitions=4: %8.2f s  %9d events  (worker counts credited back)@." w4
+    e4;
+  pf "reports %s; speedup %.2fx on %d effective core(s)@."
+    (if agree then "byte-identical" else "DIVERGED")
+    speedup cores;
+  record ~unit_:"bool" ~tolerance_pct:(Some 0.0) "parfleet.partitions_agree"
+    (if agree then 1.0 else 0.0);
+  (* Partition-aware event accounting: the four shards' executed-event
+     counts, summed into this domain's charge, must equal the 1-shard
+     run's — same simulation, same events, wherever they ran. *)
+  record ~unit_:"bool" ~tolerance_pct:(Some 0.0) "parfleet.events_conserved"
+    (if conserved then 1.0 else 0.0);
+  let vacuous = cores < 4 in
+  if vacuous then
+    pf "(< 4 effective cores: the speedup gate holds vacuously)@.";
+  record ~unit_:"bool" ~tolerance_pct:(Some 0.0) "parfleet.speedup_ge_2x"
+    (if speedup >= 2.0 || vacuous then 1.0 else 0.0);
+  record_info ~unit_:"x" "parfleet.speedup" speedup;
+  if w4 > 0.0 && e4 > 0 then
+    record_info ~unit_:"events/s" "parfleet.events_per_s"
+      (float_of_int e4 /. w4)
+
 (* --- Sensitivity: does the warm reboot still win on modern hardware? ------ *)
 
 let sensitivity () =
@@ -829,7 +883,8 @@ let sections =
     ("fig6b", fig6b); ("avail", avail); ("fig7", fig7); ("fig8a", fig8a);
     ("fig8b", fig8b); ("fits", fits); ("policy", policy); ("fig9", fig9);
     ("migration", migration); ("ablation", ablation); ("cluster", cluster);
-    ("fleet", fleet); ("sensitivity", sensitivity); ("faults", faults);
+    ("fleet", fleet); ("parfleet", parfleet);
+    ("sensitivity", sensitivity); ("faults", faults);
     ("sweep", sweep); ("eventcore", eventcore); ("micro", micro);
   ]
 

@@ -77,6 +77,16 @@ let jobs_arg =
     & info [ "j"; "jobs" ] ~docv:"N"
         ~doc:"Worker domains for parallel sweeps (1 = sequential)")
 
+let partitions_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "partitions" ] ~docv:"N"
+        ~doc:
+          "Shards (worker domains) a fleet simulation is partitioned \
+           across. Results are byte-identical for every value; this only \
+           spreads one run's hosts over cores. Migrate strategies require \
+           1.")
+
 (* --- metrics plane --------------------------------------------------------- *)
 
 let metrics_format_conv = enum_conv Obs.Export.format_enum

@@ -314,12 +314,15 @@ let run_cmd =
              (warm x xend.resume) and fleet_rolling a single small warm \
              cell instead of the full grid")
   in
-  let run verbose id smoke queue strategy workload csv json metrics =
+  let run verbose id smoke partitions queue strategy workload csv json metrics
+      =
     setup_logs verbose;
     Option.iter Simkit.Engine.set_default_queue queue;
     (* Fresh ambient registry so --metrics reports this run only. *)
     let registry = Obs.reset_ambient () in
-    let params = { Spec.default_params with smoke; strategy; workload } in
+    let params =
+      { Spec.default_params with smoke; partitions; strategy; workload }
+    in
     let r = run_spec id params in
     print_result id r;
     Cli_args.export ~csv ~json [ (id, r) ];
@@ -327,9 +330,9 @@ let run_cmd =
   in
   cmd "run" ~doc:"Run any registered experiment by id"
     Term.(
-      const run $ verbose_arg $ id_arg $ smoke_arg $ Cli_args.queue_arg
-      $ Cli_args.strategy_arg $ Cli_args.workload_arg $ Cli_args.csv_arg
-      $ Cli_args.json_arg $ Cli_args.metrics_arg)
+      const run $ verbose_arg $ id_arg $ smoke_arg $ Cli_args.partitions_arg
+      $ Cli_args.queue_arg $ Cli_args.strategy_arg $ Cli_args.workload_arg
+      $ Cli_args.csv_arg $ Cli_args.json_arg $ Cli_args.metrics_arg)
 
 (* --- the parallel sweep ----------------------------------------------------- *)
 
@@ -370,11 +373,14 @@ let sweep_cmd =
       value & flag
       & info [ "metrics-only" ] ~doc:"Print runner metrics but not the data")
   in
-  let run verbose ids jobs workload strategy cache_dir no_cache verify
-      quiet_results csv json metrics_out =
+  let run verbose ids jobs partitions workload strategy cache_dir no_cache
+      verify quiet_results csv json metrics_out =
     setup_logs verbose;
     let registry = Obs.reset_ambient () in
-    let params = { Spec.default_params with workload; strategy } in
+    (* partitions is intra-run parallelism (shards of one fleet cell);
+       jobs is inter-run parallelism (cells at once). They multiply, so
+       crank one at a time. *)
+    let params = { Spec.default_params with workload; strategy; partitions } in
     let cache =
       if no_cache then None else Some (Runner.Cache.create ?dir:cache_dir ())
     in
@@ -434,7 +440,8 @@ let sweep_cmd =
        with an on-disk result cache"
     Term.(
       const run $ verbose_arg $ ids_arg $ Cli_args.jobs_arg
-      $ Cli_args.workload_arg $ Cli_args.strategy_arg $ cache_dir_arg
+      $ Cli_args.partitions_arg $ Cli_args.workload_arg
+      $ Cli_args.strategy_arg $ cache_dir_arg
       $ no_cache_arg $ verify_arg $ quiet_results_arg $ Cli_args.csv_arg
       $ Cli_args.json_arg $ Cli_args.metrics_out_arg)
 
@@ -578,8 +585,20 @@ let fleet_cmd =
       value & opt float 200.0
       & info [ "load" ] ~doc:"Poisson client stream, requests per second")
   in
-  let run verbose hosts width slo load wave_strategy blind_dispatch metrics =
+  let smoke_arg =
+    Arg.(
+      value & flag
+      & info [ "smoke" ]
+          ~doc:
+            "Shrink the pass for CI: a 12-host fleet in waves of 3 under \
+             50 req/s, overriding --hosts/--wave-width/--load")
+  in
+  let run verbose hosts width slo load partitions smoke wave_strategy
+      blind_dispatch metrics =
     setup_logs verbose;
+    let hosts = if smoke then 12 else hosts in
+    let width = if smoke then 3 else width in
+    let load = if smoke then 50.0 else load in
     let registry = Obs.reset_ambient () in
     let fleet =
       Rejuv.Fleet.create
@@ -590,13 +609,17 @@ let fleet_cmd =
           slo;
           load_rate_per_s = load;
           blind_dispatch;
+          partitions;
         }
     in
     Rejuv.Fleet.start fleet;
     let strategy =
       Option.value wave_strategy ~default:(Rejuv.Wave.Reboot Rejuv.Strategy.Warm)
     in
-    pf "%d hosts up; rolling %s waves of <= %d under %.0f req/s...@." hosts
+    pf "%d hosts up (%d shard(s)); rolling %s waves of <= %d under %.0f \
+        req/s...@."
+      hosts
+      (Simkit.Par_engine.shards (Rejuv.Fleet.par fleet))
       (Rejuv.Wave.strategy_id strategy)
       width load;
     let r = Rejuv.Fleet.run fleet ~strategy in
@@ -609,8 +632,8 @@ let fleet_cmd =
        warm/saved/cold/migrate)"
     Term.(
       const run $ verbose_arg $ hosts_arg $ width_arg $ slo_arg $ load_arg
-      $ Cli_args.wave_strategy_arg $ blind_dispatch_arg
-      $ Cli_args.metrics_arg)
+      $ Cli_args.partitions_arg $ smoke_arg $ Cli_args.wave_strategy_arg
+      $ blind_dispatch_arg $ Cli_args.metrics_arg)
 
 let report_cmd =
   let n_arg =

@@ -59,3 +59,12 @@ val instrument_engine : ?prefix:string -> Registry.t -> Simkit.Engine.t -> unit
     [queue.resizes] — as well as the long-standing counters (events
     processed / scheduled, queue depth, clock) under [prefix] (default
     ["sim.engine"]). *)
+
+val instrument_par_engine :
+  ?prefix:string -> Registry.t -> Simkit.Par_engine.t -> unit
+(** Register pull gauges over a partitioned run's protocol counters
+    under [prefix] (default ["par"]): [shards], [shard_clock_skew_s]
+    (max inter-shard clock spread observed at barriers),
+    [barrier_waits] (worker parks), [lookahead_s] (minimum registered
+    lookahead; 0 when nothing is connected), [rounds], [quantum_ticks]
+    and [messages]. *)

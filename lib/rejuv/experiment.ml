@@ -534,10 +534,21 @@ let section_5_6_fits ?(vm_counts = [ 0; 2; 4; 6; 8; 11 ]) () =
 
 (* --- Fleet-scale rolling rejuvenation (Section 6, at scale) -------------- *)
 
-(* One grid cell: a fresh fleet on its own engine, booted and rolled
-   once. 50 req/s keeps the load stream light enough for the largest
-   cells while still measuring lost requests. *)
-let fleet_cell ~seed ~hosts ~width ~slo ~strategy () =
+(* One grid cell: a fresh fleet on its own (possibly partitioned)
+   engine, booted and rolled once. 50 req/s keeps the load stream
+   light enough for the largest cells while still measuring lost
+   requests. Migrate cells pin to one shard — the spare host and the
+   migration link are shared, and the fleet run rejects anything
+   else. The report is partition-invariant by construction, so a
+   cell's JSON (and its sweep-cache entry) is byte-identical for any
+   [partitions]. *)
+let fleet_cell ?(partitions = 1) ?(load_rate_per_s = 50.0) ~seed ~hosts ~width
+    ~slo ~strategy () =
+  let partitions =
+    match (strategy : Wave.strategy) with
+    | Wave.Migrate -> 1
+    | Wave.Reboot _ -> partitions
+  in
   let fleet =
     Fleet.create
       {
@@ -546,7 +557,8 @@ let fleet_cell ~seed ~hosts ~width ~slo ~strategy () =
         wave_width = width;
         slo;
         host = { Scenario.Config.default with seed };
-        load_rate_per_s = 50.0;
+        load_rate_per_s;
+        partitions;
       }
   in
   Fleet.start fleet;
@@ -873,6 +885,11 @@ module Spec = struct
     wave_widths : int list option;
     wave_strategy : Wave.strategy option;
     slo : float;
+    partitions : int;
+        (* shards a fleet cell runs on. Deliberately absent from
+           [params_key]: a fleet run is byte-identical for every
+           partition count (that invariant is test-gated), so the
+           sweep cache may serve a cell computed at any partitioning. *)
   }
 
   let default_params =
@@ -888,6 +905,7 @@ module Spec = struct
       wave_widths = None;
       wave_strategy = None;
       slo = 0.75;
+      partitions = 1;
     }
 
   let ints_key = function
@@ -1129,8 +1147,8 @@ let () =
             Result.Fleet
               (List.map
                  (fun (hosts, width, strategy) ->
-                   fleet_cell ~seed:p.Spec.seed ~hosts ~width ~slo:p.Spec.slo
-                     ~strategy ())
+                   fleet_cell ~partitions:p.Spec.partitions ~seed:p.Spec.seed
+                     ~hosts ~width ~slo:p.Spec.slo ~strategy ())
                  (fleet_grid p)));
       };
     ]

@@ -127,6 +127,8 @@ val section_5_6_fits : ?vm_counts:int list -> unit -> Downtime_model.fits
     fit lines, as the paper does from its testbed. *)
 
 val fleet_cell :
+  ?partitions:int ->
+  ?load_rate_per_s:float ->
   seed:int ->
   hosts:int ->
   width:int ->
@@ -135,7 +137,11 @@ val fleet_cell :
   unit ->
   Fleet.report
 (** One cell of the ["fleet_rolling"] grid: build a fresh {!Fleet} on
-    its own engine, boot it, roll one full rejuvenation pass. *)
+    its own engine — spread over [partitions] shards/domains (default
+    1; Migrate cells always pin to 1) — boot it, roll one full
+    rejuvenation pass. The report is byte-identical for every
+    [partitions] value, so partitioning is a performance knob, not a
+    cache-key ingredient ([load_rate_per_s], default 50, {e is} one). *)
 
 (** {1 Uniform results}
 
@@ -207,6 +213,11 @@ module Spec : sig
         (** pins [fleet_rolling] to one strategy; [None] = all four *)
     slo : float;
         (** [fleet_rolling] healthy-host fraction target; default 0.75 *)
+    partitions : int;
+        (** shards each [fleet_rolling] cell runs on; default 1.
+            Deliberately not part of {!params_key}: a fleet cell is
+            byte-identical for every partition count, so the sweep
+            cache may serve it computed at any partitioning. *)
   }
 
   val default_params : params

@@ -10,6 +10,8 @@ module Config = struct
     load_rate_per_s : float;
     blind_dispatch : bool;
     sample_interval_s : float;
+    partitions : int;
+    sync_quantum_s : float;
   }
 
   let default = (* simlint: allow D011 immutable template; the host config's engine/plan slots are None *)
@@ -22,92 +24,153 @@ module Config = struct
       load_rate_per_s = 200.0;
       blind_dispatch = false;
       sample_interval_s = 5.0;
+      partitions = 1;
+      sync_quantum_s = 2.0;
     }
 end
 
+(* One fleet host. The cell is the only state shared across the shard
+   boundary, and the protocol keeps it race-free by phase: [up], [busy]
+   and [done_at] are written by the owning shard's events during a
+   round and read by the coordinator only at quantum barriers (workers
+   parked); [redirect_ok] flows the other way — written at barriers,
+   read by the shard's load events during rounds. [counted] is
+   coordinator-only. The round barrier provides the happens-before
+   edges. *)
+type cell = {
+  idx : int;
+  shard : int;
+  node : Scenario.t;
+  mutable up : bool;
+  mutable busy : bool;  (* a rejuvenation task is in flight *)
+  mutable done_at : float;  (* completion time of the last task *)
+  mutable counted : bool;  (* completion folded into the obs counter *)
+  mutable redirect_ok : bool;  (* some *other* host was healthy at the
+                                  last barrier *)
+}
+
 type t = {
   cfg : Config.t;
-  eng : Simkit.Engine.t;
-  cluster : Cluster_sim.t;
-  spare : Scenario.t;
+  par : Simkit.Par_engine.t;
+  members : cell array;
+  fleet_spare : Scenario.t;
+  mutable spare_up : bool;
 }
 
 let config t = t.cfg
-let engine t = t.eng
-let cluster t = t.cluster
-let spare t = t.spare
-let healthy_hosts t = Cluster_sim.healthy_hosts t.cluster
+let par t = t.par
+let spare t = t.fleet_spare
+
+let host_healthy c =
+  Scenario.vms c.node <> []
+  && List.for_all Scenario.vm_is_up (Scenario.vms c.node)
+
+let healthy_hosts t =
+  Array.fold_left (fun n c -> if host_healthy c then n + 1 else n) 0 t.members
 
 let create (cfg : Config.t) =
-  let eng = Simkit.Engine.create ~seed:cfg.Config.host.Scenario.Config.seed () in
-  let cluster =
-    Cluster_sim.create ~engine:eng
-      {
-        Cluster_sim.Config.hosts = cfg.Config.hosts;
-        host = cfg.Config.host;
-        blind_dispatch = cfg.Config.blind_dispatch;
-      }
+  if cfg.Config.hosts <= 0 then invalid_arg "Fleet.create: hosts <= 0";
+  if cfg.Config.partitions <= 0 then
+    invalid_arg "Fleet.create: partitions <= 0";
+  if cfg.Config.sync_quantum_s <= 0.0 then
+    invalid_arg "Fleet.create: sync_quantum_s <= 0";
+  let shards = min cfg.Config.partitions cfg.Config.hosts in
+  (* Hosts share no mutable simulation state, so any cross-host event
+     coupling flows through the coordinator at barrier times — that,
+     plus per-host seeds derived from stable host indices (not from
+     shard-local split order), is what makes the run byte-identical
+     for every partition count. *)
+  let par =
+    Simkit.Par_engine.create ~seed:cfg.Config.host.Scenario.Config.seed
+      ~quantum:cfg.Config.sync_quantum_s ~shards ()
   in
-  (* The spare host: powered VMM, no guests — a migration target only. *)
-  let spare =
+  let members =
+    Array.init cfg.Config.hosts (fun i ->
+        let shard = i mod shards in
+        let node =
+          Scenario.create
+            {
+              cfg.Config.host with
+              Scenario.Config.engine = Some (Simkit.Par_engine.shard par shard);
+              name_prefix =
+                Printf.sprintf "%sh%d-"
+                  cfg.Config.host.Scenario.Config.name_prefix (i + 1);
+            }
+        in
+        {
+          idx = i;
+          shard;
+          node;
+          up = false;
+          busy = false;
+          done_at = 0.0;
+          counted = true;
+          redirect_ok = false;
+        })
+  in
+  (* The spare host: powered VMM, no guests — a migration target only.
+     It is pinned to shard 0, where migration traffic stays local. *)
+  let fleet_spare =
     Scenario.create
       {
         cfg.Config.host with
-        Scenario.Config.engine = Some eng;
+        Scenario.Config.engine = Some (Simkit.Par_engine.shard par 0);
         vm_count = 0;
         driver_vm_count = 0;
         name_prefix = "spare-";
       }
   in
-  let t = { cfg; eng; cluster; spare } in
+  let t = { cfg; par; members; fleet_spare; spare_up = false } in
   Obs.gauge "fleet.healthy_hosts" (fun () -> float_of_int (healthy_hosts t));
   Obs.gauge "fleet.capacity_fraction" (fun () ->
       float_of_int (healthy_hosts t) /. float_of_int cfg.Config.hosts);
+  Obs.instrument_par_engine (Obs.ambient ()) par;
   t
 
+let all_up t = t.spare_up && Array.for_all (fun c -> c.up) t.members
+
 let start t =
-  let spare_up = ref false in
-  Scenario.start t.spare (fun () -> spare_up := true);
-  Cluster_sim.start t.cluster;
-  while (not !spare_up) && Simkit.Engine.step t.eng do () done;
-  if not !spare_up then
-    Simkit.Fault.fail (Simkit.Fault.Stalled "Fleet.start: spare host")
+  Scenario.start t.fleet_spare (fun () -> t.spare_up <- true);
+  Array.iter (fun c -> Scenario.start c.node (fun () -> c.up <- true)) t.members;
+  Simkit.Par_engine.run t.par ~on_quantum:(fun _q ->
+      if all_up t || Simkit.Par_engine.idle t.par then `Stop else `Continue);
+  if not (all_up t) then
+    Simkit.Fault.fail (Simkit.Fault.Stalled "Fleet.start")
 
 (* --- per-host actions ---------------------------------------------------- *)
 
-let trace_host t i fmt =
+let trace_host c fmt =
   Printf.ksprintf
     (fun msg ->
-      Simkit.Trace.instant
-        (Scenario.trace (List.nth (Cluster_sim.nodes t.cluster) i))
-        (Printf.sprintf "fleet host %d: %s" (i + 1) msg))
+      Simkit.Trace.instant (Scenario.trace c.node)
+        (Printf.sprintf "fleet host %d: %s" (c.idx + 1) msg))
     fmt
 
-let rejuvenate_host t i ~strategy k =
-  let node = List.nth (Cluster_sim.nodes t.cluster) i in
-  Roothammer.rejuvenate node ~strategy (fun outcome ->
+(* Host tasks run entirely on the host's own shard and report nothing
+   but the cell flip; observability (the hosts_rejuvenated counter)
+   happens on the coordinator when the completion is observed at a
+   barrier, so the task body never touches another domain's state. *)
+let rejuvenate_host c ~strategy k =
+  Roothammer.rejuvenate c.node ~strategy (fun outcome ->
       (match outcome.Recovery.fatal with
-      | Some f -> trace_host t i "not recovered: %s" (Simkit.Fault.to_string f)
+      | Some f -> trace_host c "not recovered: %s" (Simkit.Fault.to_string f)
       | None -> ());
-      Obs.incr ~time:(Simkit.Engine.now t.eng) "fleet.hosts_rejuvenated";
       k ())
 
 (* Evacuate the guests to the spare, warm-reboot the emptied VMM, bring
    the guests home. Any failure is traced and the host abandoned in
    whatever state it reached — the wave must not wedge, and the health
-   gauges already account for it. *)
-let migrate_then_reboot t i k =
-  let node = List.nth (Cluster_sim.nodes t.cluster) i in
-  let src = Scenario.vmm node in
-  let dst = Scenario.vmm t.spare in
-  let kernels = List.map Scenario.vm_kernel (Scenario.vms node) in
+   gauges already account for it. Migrate waves run with a single
+   shard (enforced in [run]), so the spare is always local. *)
+let migrate_then_reboot t c k =
+  let src = Scenario.vmm c.node in
+  let dst = Scenario.vmm t.fleet_spare in
+  let kernels = List.map Scenario.vm_kernel (Scenario.vms c.node) in
   let dirty_bytes_per_s =
-    Migration.dirty_rate_of_workload
-      t.cfg.Config.host.Scenario.Config.workload
+    Migration.dirty_rate_of_workload t.cfg.Config.host.Scenario.Config.workload
   in
   let give_up what e =
-    trace_host t i "%s failed: %s" what (Vmm.error_message e);
-    Obs.incr ~time:(Simkit.Engine.now t.eng) "fleet.hosts_rejuvenated";
+    trace_host c "%s failed: %s" what (Vmm.error_message e);
     k ()
   in
   Migration.evacuate ~src ~dst ~kernels ~dirty_bytes_per_s (function
@@ -121,16 +184,12 @@ let migrate_then_reboot t i k =
                   Migration.evacuate ~src:dst ~dst:src ~kernels
                     ~dirty_bytes_per_s (function
                     | Error e -> give_up "migration back" e
-                    | Ok () ->
-                      Obs.incr
-                        ~time:(Simkit.Engine.now t.eng)
-                        "fleet.hosts_rejuvenated";
-                      k ())))))
+                    | Ok () -> k ())))))
 
-let host_task t i ~strategy k =
+let host_task t c ~strategy k =
   match (strategy : Wave.strategy) with
-  | Wave.Reboot s -> rejuvenate_host t i ~strategy:s k
-  | Wave.Migrate -> migrate_then_reboot t i k
+  | Wave.Reboot s -> rejuvenate_host c ~strategy:s k
+  | Wave.Migrate -> migrate_then_reboot t c k
 
 (* --- the rolling pass ---------------------------------------------------- *)
 
@@ -160,19 +219,18 @@ type report = {
 }
 
 let admission_retries = 25
-let admission_retry_s = 2.0
 
 (* Partition a wave's pending hosts into the ones the SLO guard admits
    right now and the ones it defers. Taking down a healthy host costs
    one unit of capacity; an already-unhealthy host costs none. All
-   checks happen in one simulated instant, so [taken] tracks the
-   healthy hosts this same decision is about to remove. *)
+   checks happen at one barrier instant, so [taken] tracks the healthy
+   hosts this same decision is about to remove. *)
 let admit t ~slo_floor pending =
   let healthy = healthy_hosts t in
   let taken = ref 0 in
   List.partition
     (fun i ->
-      let cost = if Cluster_sim.host_healthy t.cluster i then 1 else 0 in
+      let cost = if host_healthy t.members.(i) then 1 else 0 in
       if healthy - !taken - cost >= slo_floor then begin
         taken := !taken + cost;
         true
@@ -180,8 +238,27 @@ let admit t ~slo_floor pending =
       else false)
     pending
 
+(* The in-flight wave, advanced one quantum tick at a time. *)
+type wave_state = {
+  w_idx : int;
+  mutable w_pending : int list;
+  mutable w_admitted : int list;  (* admission order *)
+  mutable w_deferrals : int;
+  w_started : float;
+}
+
 let run t ~strategy =
   let cfg = t.cfg in
+  if
+    (match (strategy : Wave.strategy) with
+    | Wave.Migrate -> true
+    | Wave.Reboot _ -> false)
+    && Simkit.Par_engine.shards t.par > 1
+  then
+    Simkit.Fault.fail
+      (Simkit.Fault.Invariant
+         "Fleet.run: migrate waves share the spare host and its \
+          migration link; partitions must be 1");
   let plan =
     match
       Wave.plan ~hosts:cfg.Config.hosts ~width:cfg.Config.wave_width
@@ -190,91 +267,201 @@ let run t ~strategy =
     | Ok p -> p
     | Error (`Msg m) -> Simkit.Fault.fail (Simkit.Fault.Invariant m)
   in
-  let load =
-    Cluster_sim.offer_load t.cluster ~rate_per_s:cfg.Config.load_rate_per_s
+  (* Open-loop load, one generator per host so every arrival is shard-
+     local. Streams are seeded from (fleet seed, host index): stable
+     across partition counts, unlike anything split from a shard
+     engine's root stream. A request succeeds on a healthy host, or —
+     unless dispatch is blind — when the balancer could have sent it to
+     some other host that was healthy as of the last barrier. *)
+  let rate = cfg.Config.load_rate_per_s /. float_of_int cfg.Config.hosts in
+  let gens =
+    Array.map
+      (fun c ->
+        Netsim.Poisson.create
+          (Scenario.engine c.node)
+          ~name:(Printf.sprintf "fleet-load-%d" (c.idx + 1))
+          ~rate_per_s:rate
+          ~rng:
+            (Simkit.Rng.create
+               ((cfg.Config.host.Scenario.Config.seed * 1_000_003)
+               + c.idx + 1))
+          ~request:(fun k ->
+            k
+              (host_healthy c
+              || ((not cfg.Config.blind_dispatch) && c.redirect_ok)))
+          ())
+      t.members
   in
+  Array.iter Netsim.Poisson.start gens;
+  let t0 = Simkit.Par_engine.last_quantum t.par in
   let min_healthy = ref (healthy_hosts t) in
   let healthy_sum = ref 0.0 in
   let healthy_n = ref 0 in
-  let sampler =
-    Simkit.Sampler.start t.eng ~name:"fleet-capacity"
-      ~interval_s:cfg.Config.sample_interval_s
-      ~gauge:(fun () ->
-        let h = healthy_hosts t in
-        if h < !min_healthy then min_healthy := h;
-        healthy_sum := !healthy_sum +. float_of_int h;
-        incr healthy_n;
-        float_of_int h)
-      ()
-  in
-  let t0 = Simkit.Engine.now t.eng in
+  let next_sample = ref t0 in
   let wave_reports = ref [] in
   let skipped = ref [] in
+  let queue = ref (List.mapi (fun i w -> (i, w)) plan.Wave.waves) in
+  let cur = ref None in
+  let next_wave_at = ref neg_infinity in
+  let end_q = ref t0 in
   let finished = ref false in
-  (* One wave: admit under the SLO guard, run the admitted hosts
-     (concurrently for reboots, serially for migrations — the spare and
-     the migration link are shared), then retry the deferred ones. *)
-  let rec run_wave idx pending ~admitted ~deferrals ~started_at k =
-    match admit t ~slo_floor:plan.Wave.slo_floor pending with
-    | [], [] ->
-      wave_reports :=
-        {
-          wave_index = idx;
-          wave_hosts = List.rev admitted;
-          started_at_s = started_at;
-          wave_makespan_s = Simkit.Engine.now t.eng -. started_at;
-          deferred = deferrals;
-        }
-        :: !wave_reports;
-      k ()
-    | [], waiting when deferrals >= admission_retries ->
-      List.iter (fun i -> trace_host t i "skipped: SLO guard") waiting;
-      skipped := !skipped @ waiting;
-      run_wave idx [] ~admitted ~deferrals ~started_at k
-    | [], waiting ->
-      Simkit.Process.delay t.eng admission_retry_s (fun () ->
-          run_wave idx waiting ~admitted ~deferrals:(deferrals + 1)
-            ~started_at k)
-    | now, waiting ->
-      let finish () =
-        run_wave idx waiting ~admitted:(List.rev_append now admitted)
-          ~deferrals ~started_at k
+  (* Everything the control plane does happens at barrier time [q],
+     with every worker parked: sampling, redirect refresh, completion
+     accounting, SLO-guarded admission, task launches. That is what
+     keeps control decisions independent of the partitioning. *)
+  let sample q =
+    if q >= !next_sample then begin
+      let h = healthy_hosts t in
+      if h < !min_healthy then min_healthy := h;
+      healthy_sum := !healthy_sum +. float_of_int h;
+      incr healthy_n;
+      next_sample := !next_sample +. cfg.Config.sample_interval_s
+    end
+  in
+  let refresh_redirects () =
+    let healthy = healthy_hosts t in
+    Array.iter
+      (fun c ->
+        c.redirect_ok <- healthy - (if host_healthy c then 1 else 0) > 0)
+      t.members
+  in
+  let count_completions q =
+    Array.iter
+      (fun c ->
+        if (not c.counted) && not c.busy then begin
+          c.counted <- true;
+          Obs.incr ~time:q "fleet.hosts_rejuvenated"
+        end)
+      t.members
+  in
+  let launch q hosts =
+    List.iter
+      (fun i ->
+        let c = t.members.(i) in
+        c.busy <- true;
+        c.counted <- false)
+      hosts;
+    match (strategy : Wave.strategy) with
+    | Wave.Reboot _ ->
+      (* Concurrent: each host's task is scheduled at the barrier time
+         on its own shard. *)
+      List.iter
+        (fun i ->
+          let c = t.members.(i) in
+          let eng = Scenario.engine c.node in
+          ignore
+            (Simkit.Engine.schedule_at eng ~time:q (fun () ->
+                 host_task t c ~strategy (fun () ->
+                     c.done_at <- Simkit.Engine.now eng;
+                     c.busy <- false))))
+        hosts
+    | Wave.Migrate ->
+      (* Serial: the spare's memory and the migration link are shared. *)
+      let rec serial time = function
+        | [] -> ()
+        | i :: rest ->
+          let c = t.members.(i) in
+          let eng = Scenario.engine c.node in
+          ignore
+            (Simkit.Engine.schedule_at eng ~time (fun () ->
+                 host_task t c ~strategy (fun () ->
+                     c.done_at <- Simkit.Engine.now eng;
+                     c.busy <- false;
+                     serial (Simkit.Engine.now eng) rest)))
       in
-      (match (strategy : Wave.strategy) with
-      | Wave.Reboot _ ->
-        Simkit.Process.par
-          (List.map (fun i k -> host_task t i ~strategy k) now)
-          finish
-      | Wave.Migrate ->
-        let rec serial = function
-          | [] -> finish ()
-          | i :: rest -> host_task t i ~strategy (fun () -> serial rest)
+      serial q hosts
+  in
+  let rec tick_waves q =
+    match !cur with
+    | None -> (
+      match !queue with
+      | [] ->
+        if not !finished then begin
+          finished := true;
+          end_q := q
+        end
+      | (idx, wave) :: rest ->
+        if q >= !next_wave_at then begin
+          queue := rest;
+          Obs.set_gauge "fleet.wave_index" (float_of_int idx);
+          cur :=
+            Some
+              {
+                w_idx = idx;
+                w_pending = wave;
+                w_admitted = [];
+                w_deferrals = 0;
+                w_started = q;
+              };
+          tick_waves q
+        end)
+    | Some w ->
+      let in_flight =
+        List.exists (fun i -> t.members.(i).busy) w.w_admitted
+      in
+      (* Admission runs batch-by-batch, like the sequential control
+         plane did: the deferred rest of a wave is reconsidered once
+         the admitted batch has completed. *)
+      if w.w_pending <> [] && not in_flight then begin
+        match admit t ~slo_floor:plan.Wave.slo_floor w.w_pending with
+        | [], waiting ->
+          if w.w_deferrals >= admission_retries then begin
+            List.iter
+              (fun i -> trace_host t.members.(i) "skipped: SLO guard")
+              waiting;
+            skipped := !skipped @ waiting;
+            w.w_pending <- []
+          end
+          else w.w_deferrals <- w.w_deferrals + 1
+        | now, waiting ->
+          w.w_pending <- waiting;
+          w.w_admitted <- w.w_admitted @ now;
+          launch q now
+      end;
+      if
+        w.w_pending = []
+        && List.for_all (fun i -> not t.members.(i).busy) w.w_admitted
+      then begin
+        let makespan =
+          List.fold_left
+            (fun acc i -> Float.max acc (t.members.(i).done_at -. w.w_started))
+            0.0 w.w_admitted
         in
-        serial now)
+        wave_reports :=
+          {
+            wave_index = w.w_idx;
+            wave_hosts = w.w_admitted;
+            started_at_s = w.w_started;
+            wave_makespan_s = makespan;
+            deferred = w.w_deferrals;
+          }
+          :: !wave_reports;
+        cur := None;
+        next_wave_at := q +. cfg.Config.gap_s;
+        tick_waves q
+      end
   in
-  let rec run_waves idx = function
-    | [] -> finished := true
-    | wave :: rest ->
-      Obs.set_gauge "fleet.wave_index" (float_of_int idx);
-      run_wave idx wave ~admitted:[] ~deferrals:0
-        ~started_at:(Simkit.Engine.now t.eng) (fun () ->
-          if rest = [] then finished := true
-          else
-            Simkit.Process.delay t.eng cfg.Config.gap_s (fun () ->
-                run_waves (idx + 1) rest))
-  in
-  run_waves 0 plan.Wave.waves;
-  while (not !finished) && Simkit.Engine.step t.eng do () done;
-  if not !finished then
-    Simkit.Fault.fail (Simkit.Fault.Stalled "Fleet.run");
+  Simkit.Par_engine.run t.par ~on_quantum:(fun q ->
+      sample q;
+      refresh_redirects ();
+      count_completions q;
+      tick_waves q;
+      if !finished then `Stop
+      else if Simkit.Par_engine.idle t.par then `Stop
+      else `Continue);
+  if not !finished then Simkit.Fault.fail (Simkit.Fault.Stalled "Fleet.run");
   (* Let probes and in-flight requests settle, then stop the plumbing. *)
-  Simkit.Engine.run ~until:(Simkit.Engine.now t.eng +. 5.0) t.eng;
-  Netsim.Poisson.stop load;
-  Simkit.Sampler.stop sampler;
+  let settled = !end_q +. 5.0 in
+  Simkit.Par_engine.run t.par ~until:settled;
+  Array.iter Netsim.Poisson.stop gens;
   let mean_healthy =
     if !healthy_n = 0 then float_of_int (healthy_hosts t)
     else !healthy_sum /. float_of_int !healthy_n
   in
+  let offered =
+    Array.fold_left (fun n g -> n + Netsim.Poisson.offered g) 0 gens
+  in
+  let lost = Array.fold_left (fun n g -> n + Netsim.Poisson.lost g) 0 gens in
   {
     fr_strategy = strategy;
     hosts = cfg.Config.hosts;
@@ -282,10 +469,12 @@ let run t ~strategy =
     slo = cfg.Config.slo;
     slo_floor = plan.Wave.slo_floor;
     waves = List.rev !wave_reports;
-    makespan_s = Simkit.Engine.now t.eng -. t0;
-    offered = Netsim.Poisson.offered load;
-    lost = Netsim.Poisson.lost load;
-    loss_ratio = Netsim.Poisson.loss_ratio load;
+    makespan_s = settled -. t0;
+    offered;
+    lost;
+    loss_ratio =
+      (if offered = 0 then 0.0
+       else float_of_int lost /. float_of_int offered);
     min_healthy = !min_healthy;
     mean_healthy;
     slo_met = !min_healthy >= plan.Wave.slo_floor;

@@ -8,6 +8,19 @@
     concurrently (or migrating their guests away first), under an
     open-loop Poisson client stream dispatched across the fleet.
 
+    {b Partitioned time.} Host stacks share no mutable simulation
+    state, so the fleet can spread them over
+    [Config.partitions] shards of a [Simkit.Par_engine] (host [i] on
+    shard [i mod partitions]; the spare pinned to shard 0) and run them
+    on as many domains. All cross-host coupling — SLO admission,
+    redirect freshness, task launches, capacity sampling — happens on
+    the coordinator at the fixed [sync_quantum_s] barrier grid, and
+    per-host load streams are seeded from (fleet seed, host index):
+    together these make a seeded run {e byte-identical for every
+    partition count}, 1 included (which runs the same barrier loop
+    inline). Migrate waves funnel through the shared spare, so they
+    require [partitions = 1].
+
     The SLO guard is enforced twice. Statically, {!Wave.plan} caps the
     wave width at the capacity slack above the SLO floor. Dynamically,
     before each host is admitted into its wave the control plane checks
@@ -36,6 +49,13 @@ module Config : sig
     blind_dispatch : bool;
         (** health-oblivious dispatch (see {!Cluster_sim.Config}) *)
     sample_interval_s : float;  (** capacity sampling period; default 5 s *)
+    partitions : int;
+        (** shards the host stacks are spread over (clamped to the
+            fleet size); default 1 — the classic single-domain run *)
+    sync_quantum_s : float;
+        (** control-plane barrier period: admission checks, deferral
+            retries and wave starts all happen on this grid; default
+            2 s (the old admission retry period) *)
   }
 
   val default : t
@@ -44,18 +64,22 @@ end
 type t
 
 val create : Config.t -> t
-(** Build the fleet (and its spare host) on one engine seeded from
-    [host.seed], and register the fleet gauges into the ambient [Obs]
-    registry. Raises [Invalid_argument] on a non-positive fleet size. *)
+(** Build the fleet (and its spare host) on a partitioned engine seeded
+    from [host.seed], and register the fleet and [par.*] shard gauges
+    into the ambient [Obs] registry. Raises [Invalid_argument] on a
+    non-positive fleet size, partition count or quantum. *)
 
 val config : t -> Config.t
-val engine : t -> Simkit.Engine.t
-val cluster : t -> Cluster_sim.t
+
+val par : t -> Simkit.Par_engine.t
+(** The partitioned engine; [Par_engine.shard] exposes the per-shard
+    engines (shard 0 doubles as the control/spare shard). *)
+
 val spare : t -> Scenario.t
 val healthy_hosts : t -> int
 
 val start : t -> unit
-(** Boot every fleet host and the spare, driving the engine until all
+(** Boot every fleet host and the spare, driving the shards until all
     are up. *)
 
 type wave_report = {
@@ -86,9 +110,13 @@ type report = {
 
 val run : t -> strategy:Wave.strategy -> report
 (** Execute one full rolling pass over a started fleet: plan the waves,
-    start the load, walk the waves (driving the engine to completion),
-    settle, stop the load, and report. [Reboot] waves rejuvenate their
-    hosts concurrently; [Migrate] waves go host by host, because the
-    spare's memory and the migration link are shared. Per-host faults
-    are traced and do not wedge the pass — an unrecovered host simply
-    stays unhealthy (and counts against [min_healthy]). *)
+    start the per-host load streams, walk the waves one quantum barrier
+    at a time (admission, launches and sampling all happen at barriers,
+    on the coordinator, with every shard parked), settle, stop the
+    load, and report. [Reboot] waves rejuvenate their hosts
+    concurrently — across domains when partitioned; [Migrate] waves go
+    host by host, because the spare's memory and the migration link are
+    shared (and therefore fail with [Fault.Invariant] when
+    [partitions > 1]). Per-host faults are traced and do not wedge the
+    pass — an unrecovered host simply stays unhealthy (and counts
+    against [min_healthy]). *)

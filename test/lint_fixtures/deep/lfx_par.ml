@@ -1,0 +1,33 @@
+(* D010 capture cases across the [Simkit.Par_engine.send] boundary: a
+   cross-shard event executes on the destination shard's worker
+   domain, so its captures cross domains exactly like a Domain.spawn
+   closure's. Only [bad_send] hands unsynchronized mutable state
+   across. *)
+
+let par () =
+  let p = Simkit.Par_engine.create ~shards:2 () in
+  Simkit.Par_engine.connect p ~src:0 ~dst:1 ~lookahead:0.5;
+  p
+
+let bad_send () =
+  let p = par () in
+  let tbl = Hashtbl.create 8 in
+  Simkit.Par_engine.send p ~src:0 ~dst:1 ~time:1.0 (fun () ->
+      Hashtbl.replace tbl 1 1);
+  Simkit.Par_engine.run p;
+  Hashtbl.length tbl
+
+let good_send_atomic () =
+  let p = par () in
+  let hits = Atomic.make 0 in
+  Simkit.Par_engine.send p ~src:0 ~dst:1 ~time:1.0 (fun () ->
+      Atomic.incr hits);
+  Simkit.Par_engine.run p;
+  Atomic.get hits
+
+let good_send_fresh () =
+  let p = par () in
+  Simkit.Par_engine.send p ~src:0 ~dst:1 ~time:1.0 (fun () ->
+      let tbl = Hashtbl.create 8 in
+      Hashtbl.replace tbl 1 1);
+  Simkit.Par_engine.run p

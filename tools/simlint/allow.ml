@@ -36,6 +36,14 @@ let entries =
     };
     {
       rule = "D004";
+      prefix = "lib/simkit/par_engine.ml";
+      reason =
+        "the conservative coordinator is the sanctioned shard-worker \
+         spawner; its barrier protocol is what keeps every other module \
+         domain-free";
+    };
+    {
+      rule = "D004";
       prefix = "lib/obs/obs.ml";
       reason = "ambient registry is Domain.DLS so sweep workers never share state";
     };

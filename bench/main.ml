@@ -5,6 +5,7 @@
 
    Usage: main.exe [-j N] [tag ...] where tag is one of
    fig4 fig5 reload fig6a fig6b avail fig7 fig8a fig8b fits policy fig9
+   memdyn
    migration ablation cluster fleet parfleet sensitivity faults sweep
    eventcore micro. No tags = everything. The swept
    figures (fig4/fig5/fig6) run their points through the parallel sweep
@@ -23,12 +24,12 @@ let jobs = ref (Runner.Pool.default_jobs ())
 
    Each section records its headline numbers; the driver adds simulator
    self-metrics (wall time, events, events/s) per section and writes the
-   whole batch as a roothammer-bench/1 file (default BENCH_PR8.json).
+   whole batch as a roothammer-bench/1 file (default BENCH_PR9.json).
    Simulation outputs get a tolerance band and are gated by
    `benchstat --check` against the committed BENCH_BASELINE.json;
    timing self-metrics are informational (tolerance null). *)
 
-let bench_out = ref "BENCH_PR8.json"
+let bench_out = ref "BENCH_PR9.json"
 let bench_metrics : (string * Benchstat.Check.metric) list ref = ref []
 
 let record ?(unit_ = "s")
@@ -591,6 +592,83 @@ let sensitivity () =
   pf "warm reboot still wins everywhere — and on big-memory hosts the@.";
   pf "full-scrub cost it skips grows with installed RAM.@."
 
+(* --- Memory dynamics: ballooning + streamed restore ------------------------ *)
+
+let memdyn () =
+  header "Memory dynamics: ballooning and streamed demand-paged restore";
+  pf "saved reboot of one 1 GiB VM on the 2007 testbed, per memdyn mode@.";
+  let run memdyn =
+    Rejuv.Experiment.run_reboot ?memdyn ~strategy:Rejuv.Strategy.Saved
+      ~vm_count:1
+      ~vm_mem_bytes:(Simkit.Units.gib 1)
+      ()
+  in
+  let off = run None in
+  let ballooned = run (Some (Mem.Memdyn.default Mem.Memdyn.Balloon)) in
+  let streamed = run (Some (Mem.Memdyn.default Mem.Memdyn.Stream)) in
+  pf "%-16s %12s %12s %10s@." "mode" "image-MiB" "downtime-s" "lag-s";
+  List.iter
+    (fun (name, (r : Rejuv.Experiment.reboot_run)) ->
+      pf "%-16s %12.1f %12.1f %10.1f@." name r.saved_image_mib
+        r.downtime_max_s r.restore_lag_s)
+    [ ("off", off); ("balloon", ballooned); ("stream", streamed) ];
+  (* Gate: the balloon driver reclaims idle pages before suspend, so
+     the saved image must come out strictly smaller than full RAM. *)
+  record ~unit_:"bool" ~tolerance_pct:(Some 0.0)
+    "memdyn.balloon_shrinks_image"
+    (if
+       ballooned.Rejuv.Experiment.saved_image_mib
+       < off.Rejuv.Experiment.saved_image_mib
+     then 1.0
+     else 0.0);
+  (* Gate: restoring only the hot pages before resume must beat
+     stop-and-copy on 2007 spindles. *)
+  record ~unit_:"bool" ~tolerance_pct:(Some 0.0)
+    "memdyn.stream_cuts_downtime"
+    (if
+       streamed.Rejuv.Experiment.downtime_max_s
+       < off.Rejuv.Experiment.downtime_max_s
+     then 1.0
+     else 0.0);
+  record ~unit_:"MiB" "memdyn.off.image_mib"
+    off.Rejuv.Experiment.saved_image_mib;
+  record ~unit_:"MiB" "memdyn.balloon.image_mib"
+    ballooned.Rejuv.Experiment.saved_image_mib;
+  record "memdyn.off.downtime_s" off.Rejuv.Experiment.downtime_max_s;
+  record "memdyn.stream.downtime_s"
+    streamed.Rejuv.Experiment.downtime_max_s;
+  record "memdyn.stream.restore_lag_s"
+    streamed.Rejuv.Experiment.restore_lag_s;
+  (* Gate: off-mode inertness — a seeded fleet cell's JSON is
+     byte-identical with memdyn absent vs explicitly off, for
+     partitions 1 and 4, under both event-queue backends. *)
+  let cell ?memdyn ~partitions backend =
+    Simkit.Engine.with_default_queue backend (fun () ->
+        Rejuv.Experiment.Result.to_json
+          (Rejuv.Experiment.Result.Fleet
+             [
+               Rejuv.Experiment.fleet_cell ?memdyn ~partitions
+                 ~load_rate_per_s:20.0 ~seed:11 ~hosts:6 ~width:2 ~slo:0.5
+                 ~strategy:(Rejuv.Wave.Reboot Rejuv.Strategy.Warm)
+                 ();
+             ]))
+  in
+  let reference = cell ~memdyn:Mem.Memdyn.off ~partitions:1 Simkit.Eventq.Heap in
+  let identical =
+    String.length reference > 100
+    && List.for_all
+         (fun backend ->
+           String.equal reference (cell ~partitions:1 backend)
+           && String.equal reference
+                (cell ~memdyn:Mem.Memdyn.off ~partitions:4 backend))
+         [ Simkit.Eventq.Heap; Simkit.Eventq.Calendar ]
+  in
+  pf "off-mode fleet cell byte-identical across modes/partitions/backends: \
+      %b@."
+    identical;
+  record ~unit_:"bool" ~tolerance_pct:(Some 0.0) "memdyn.off_identical"
+    (if identical then 1.0 else 0.0)
+
 (* --- The fault-injection campaign ------------------------------------------ *)
 
 let faults () =
@@ -883,7 +961,7 @@ let sections =
     ("fig6b", fig6b); ("avail", avail); ("fig7", fig7); ("fig8a", fig8a);
     ("fig8b", fig8b); ("fits", fits); ("policy", policy); ("fig9", fig9);
     ("migration", migration); ("ablation", ablation); ("cluster", cluster);
-    ("fleet", fleet); ("parfleet", parfleet);
+    ("fleet", fleet); ("parfleet", parfleet); ("memdyn", memdyn);
     ("sensitivity", sensitivity); ("faults", faults);
     ("sweep", sweep); ("eventcore", eventcore); ("micro", micro);
   ]

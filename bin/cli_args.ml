@@ -59,6 +59,19 @@ let json_arg =
     & info [ "json" ] ~docv:"FILE"
         ~doc:"Also write the data as JSON to $(docv)")
 
+let memdyn_conv = enum_conv Mem.Memdyn.mode_enum
+
+let memdyn_arg =
+  Arg.(
+    value
+    & opt memdyn_conv Mem.Memdyn.Off
+    & info [ "memdyn" ] ~docv:"MODE"
+        ~doc:
+          (enum_doc Mem.Memdyn.mode_enum
+             "Memory-dynamics mode (dirty-page tracking, pre-suspend \
+              ballooning, streamed demand-paged restore); off is the exact \
+              static-memory model"))
+
 let queue_conv = enum_conv Simkit.Eventq.backend_enum
 
 let queue_arg =

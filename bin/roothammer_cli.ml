@@ -120,6 +120,17 @@ let print_result id = function
   | Result.Fleet reports ->
     pf "# %s@." id;
     print_fleet reports
+  | Result.Elastic rows ->
+    pf "# %s@." id;
+    pf "%-16s %6s %-8s %10s %10s %10s@." "memdyn" "ws" "disk" "downtime-s"
+      "image-MiB" "lag-s";
+    List.iter
+      (fun (r : Experiment.elastic_row) ->
+        pf "%-16s %6.2f %-8s %10.2f %10.1f %10.2f@."
+          (Mem.Memdyn.mode_name r.er_mode)
+          r.er_working_set r.er_disk r.er_downtime_s r.er_image_mib
+          r.er_restore_lag_s)
+      rows
 
 (* --- figure commands -------------------------------------------------------- *)
 
@@ -314,14 +325,14 @@ let run_cmd =
              (warm x xend.resume) and fleet_rolling a single small warm \
              cell instead of the full grid")
   in
-  let run verbose id smoke partitions queue strategy workload csv json metrics
-      =
+  let run verbose id smoke partitions queue strategy workload memdyn csv json
+      metrics =
     setup_logs verbose;
     Option.iter Simkit.Engine.set_default_queue queue;
     (* Fresh ambient registry so --metrics reports this run only. *)
     let registry = Obs.reset_ambient () in
     let params =
-      { Spec.default_params with smoke; partitions; strategy; workload }
+      { Spec.default_params with smoke; partitions; strategy; workload; memdyn }
     in
     let r = run_spec id params in
     print_result id r;
@@ -332,7 +343,8 @@ let run_cmd =
     Term.(
       const run $ verbose_arg $ id_arg $ smoke_arg $ Cli_args.partitions_arg
       $ Cli_args.queue_arg $ Cli_args.strategy_arg $ Cli_args.workload_arg
-      $ Cli_args.csv_arg $ Cli_args.json_arg $ Cli_args.metrics_arg)
+      $ Cli_args.memdyn_arg $ Cli_args.csv_arg $ Cli_args.json_arg
+      $ Cli_args.metrics_arg)
 
 (* --- the parallel sweep ----------------------------------------------------- *)
 
@@ -373,14 +385,16 @@ let sweep_cmd =
       value & flag
       & info [ "metrics-only" ] ~doc:"Print runner metrics but not the data")
   in
-  let run verbose ids jobs partitions workload strategy cache_dir no_cache
-      verify quiet_results csv json metrics_out =
+  let run verbose ids jobs partitions workload strategy memdyn cache_dir
+      no_cache verify quiet_results csv json metrics_out =
     setup_logs verbose;
     let registry = Obs.reset_ambient () in
     (* partitions is intra-run parallelism (shards of one fleet cell);
        jobs is inter-run parallelism (cells at once). They multiply, so
        crank one at a time. *)
-    let params = { Spec.default_params with workload; strategy; partitions } in
+    let params =
+      { Spec.default_params with workload; strategy; partitions; memdyn }
+    in
     let cache =
       if no_cache then None else Some (Runner.Cache.create ?dir:cache_dir ())
     in
@@ -441,7 +455,7 @@ let sweep_cmd =
     Term.(
       const run $ verbose_arg $ ids_arg $ Cli_args.jobs_arg
       $ Cli_args.partitions_arg $ Cli_args.workload_arg
-      $ Cli_args.strategy_arg $ cache_dir_arg
+      $ Cli_args.strategy_arg $ Cli_args.memdyn_arg $ cache_dir_arg
       $ no_cache_arg $ verify_arg $ quiet_results_arg $ Cli_args.csv_arg
       $ Cli_args.json_arg $ Cli_args.metrics_out_arg)
 
@@ -593,7 +607,7 @@ let fleet_cmd =
             "Shrink the pass for CI: a 12-host fleet in waves of 3 under \
              50 req/s, overriding --hosts/--wave-width/--load")
   in
-  let run verbose hosts width slo load partitions smoke wave_strategy
+  let run verbose hosts width slo load partitions smoke wave_strategy memdyn
       blind_dispatch metrics =
     setup_logs verbose;
     let hosts = if smoke then 12 else hosts in
@@ -610,6 +624,11 @@ let fleet_cmd =
           load_rate_per_s = load;
           blind_dispatch;
           partitions;
+          host =
+            {
+              Rejuv.Fleet.Config.default.Rejuv.Fleet.Config.host with
+              Rejuv.Scenario.Config.memdyn = Mem.Memdyn.default memdyn;
+            };
         }
     in
     Rejuv.Fleet.start fleet;
@@ -633,7 +652,7 @@ let fleet_cmd =
     Term.(
       const run $ verbose_arg $ hosts_arg $ width_arg $ slo_arg $ load_arg
       $ Cli_args.partitions_arg $ smoke_arg $ Cli_args.wave_strategy_arg
-      $ blind_dispatch_arg $ Cli_args.metrics_arg)
+      $ Cli_args.memdyn_arg $ blind_dispatch_arg $ Cli_args.metrics_arg)
 
 let report_cmd =
   let n_arg =

@@ -47,6 +47,15 @@ let warm_all t =
   let fs = Kernel.filesystem t.kernel in
   Array.iter (fun f -> Filesystem.warm_file fs f) t.docs
 
+(* While a streamed restore is still faulting cold pages in, every
+   request pays the current page-fault tax: the chance of touching an
+   unfaulted page times one disk fault. Zero (and event-free) once the
+   working set is fully resident — and always when memdyn is off. *)
+let fault_tax_s t =
+  match Xenvmm.Domain.mem_stream (Kernel.domain t.kernel) with
+  | Some s -> Mem.Stream.fault_tax_s s
+  | None -> 0.0
+
 let handle_request t ?file ~rng k =
   if not (Kernel.service_reachable t.kernel t.svc) then k false
   else if Array.length t.docs = 0 && file = None then k false
@@ -57,11 +66,16 @@ let handle_request t ?file ~rng k =
       | None -> t.docs.(Simkit.Rng.int rng (Array.length t.docs))
     in
     let fs = Kernel.filesystem t.kernel in
-    Filesystem.read fs f ~access:Filesystem.Random (fun () ->
-        Simkit.Process.delay t.engine t.response_overhead_s (fun () ->
-            Hw.Nic.transfer t.nic ~bytes:(Filesystem.file_bytes f) (fun () ->
-                t.served <- t.served + 1;
-                k true)))
+    let serve () =
+      Filesystem.read fs f ~access:Filesystem.Random (fun () ->
+          Simkit.Process.delay t.engine t.response_overhead_s (fun () ->
+              Hw.Nic.transfer t.nic ~bytes:(Filesystem.file_bytes f)
+                (fun () ->
+                  t.served <- t.served + 1;
+                  k true)))
+    in
+    let tax = fault_tax_s t in
+    if tax > 0.0 then Simkit.Process.delay t.engine tax serve else serve ()
   end
 
 let requests_served t = t.served

@@ -1,0 +1,20 @@
+let keep_pages ps =
+  let cfg_floor memdyn =
+    Simkit.Units.pages_of_bytes memdyn.Memdyn.balloon_floor_bytes
+  in
+  let memdyn = Pagestate.cfg ps in
+  let want =
+    int_of_float
+      (Float.round
+         (memdyn.Memdyn.balloon_headroom
+         *. float_of_int (Pagestate.working_set_pages ps)))
+  in
+  let keep = max want (cfg_floor memdyn) in
+  (* Keep at least one page and never more than what exists. *)
+  min (max 1 keep) (Pagestate.total_pages ps)
+
+let reclaim_target ps =
+  let resident = Pagestate.resident_pages ps in
+  let keep = keep_pages ps in
+  (* Leave at least one resident page so the domain stays viable. *)
+  max 0 (min (resident - keep) (resident - 1))

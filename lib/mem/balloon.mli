@@ -1,0 +1,21 @@
+(** Balloon-driver reclaim policy.
+
+    Before a suspend, the balloon driver inflates to return idle pages
+    to the hypervisor so the saved image shrinks from full RAM to
+    O(resident − reclaimed). The policy keeps
+    [working_set × balloon_headroom] pages resident — ballooning
+    targets idle pages by definition, so the hot set (and with it the
+    guest's page cache hit rate) is preserved — and never goes below
+    [balloon_floor_bytes]. *)
+
+val reclaim_target : Pagestate.t -> int
+(** [reclaim_target ps] is how many {e additional} pages the driver
+    should balloon out right now, given the tracker's current
+    working-set estimate. Always in
+    [[0, resident_pages ps - 1]]; [0] when the guest is already at or
+    below its keep target. Draw-free: callers refresh the tracker
+    first. *)
+
+val keep_pages : Pagestate.t -> int
+(** The resident size the policy aims for (working set × headroom,
+    floored), in pages. *)

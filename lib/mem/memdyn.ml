@@ -1,0 +1,70 @@
+type mode = Off | Balloon | Stream | Balloon_stream
+
+let mode_enum =
+  Simkit.Enum.make ~what:"memdyn"
+    ~aliases:[ ("none", Off); ("full", Balloon_stream) ]
+    [
+      ("off", Off);
+      ("balloon", Balloon);
+      ("stream", Stream);
+      ("balloon_stream", Balloon_stream);
+    ]
+
+let mode_name m = Simkit.Enum.name mode_enum m
+
+type t = {
+  mode : mode;
+  working_set_fraction : float;
+  working_set_jitter : float;
+  sample_interval_s : float;
+  balloon_floor_bytes : int;
+  balloon_headroom : float;
+  stream_batch_bytes : int;
+  fault_tax_s : float;
+  seed : int;
+}
+
+let off =
+  {
+    mode = Off;
+    working_set_fraction = 0.35;
+    working_set_jitter = 0.2;
+    sample_interval_s = 5.0;
+    balloon_floor_bytes = Simkit.Units.mib 64;
+    balloon_headroom = 1.25;
+    stream_batch_bytes = Simkit.Units.mib 2;
+    fault_tax_s = 0.030;
+    seed = 0;
+  }
+
+let default mode = { off with mode }
+
+let validate t =
+  let bad fmt = Format.kasprintf invalid_arg ("Memdyn.validate: " ^^ fmt) in
+  if not (t.working_set_fraction > 0.0 && t.working_set_fraction < 1.0) then
+    bad "working_set_fraction %g outside (0, 1)" t.working_set_fraction;
+  if not (t.working_set_jitter >= 0.0 && t.working_set_jitter < 1.0) then
+    bad "working_set_jitter %g outside [0, 1)" t.working_set_jitter;
+  if t.sample_interval_s <= 0.0 then
+    bad "sample_interval_s %g must be positive" t.sample_interval_s;
+  if t.balloon_floor_bytes < 0 then
+    bad "balloon_floor_bytes %d must be >= 0" t.balloon_floor_bytes;
+  if t.balloon_headroom < 1.0 then
+    bad "balloon_headroom %g must be >= 1" t.balloon_headroom;
+  if t.stream_batch_bytes <= 0 then
+    bad "stream_batch_bytes %d must be positive" t.stream_batch_bytes;
+  if t.fault_tax_s < 0.0 then bad "fault_tax_s %g must be >= 0" t.fault_tax_s;
+  t
+
+let enabled t = t.mode <> Off
+
+let balloon_enabled t =
+  match t.mode with Balloon | Balloon_stream -> true | Off | Stream -> false
+
+let stream_enabled t =
+  match t.mode with Stream | Balloon_stream -> true | Off | Balloon -> false
+
+let pp ppf t =
+  Format.fprintf ppf "memdyn(%s, ws %.2f±%.2f, epoch %gs, floor %a)"
+    (mode_name t.mode) t.working_set_fraction t.working_set_jitter
+    t.sample_interval_s Simkit.Units.pp_bytes t.balloon_floor_bytes

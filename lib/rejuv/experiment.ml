@@ -11,6 +11,8 @@ type reboot_run = {
   downtime_mean_s : float;
   downtime_max_s : float;
   spans : (string * float * float) list;
+  saved_image_mib : float;
+  restore_lag_s : float;
 }
 
 (* Paper-reproduction experiments run with nothing armed on the fault
@@ -53,7 +55,8 @@ let boot_testbed scenario =
 
 (* Experiment entry points keep optional [calibration]/[seed] (absent
    means "the config default"), folded into a [Scenario.Config] here. *)
-let scenario_config ?calibration ?seed ~vm_count ~vm_mem_bytes ~workload () =
+let scenario_config ?calibration ?seed ?memdyn ~vm_count ~vm_mem_bytes
+    ~workload () =
   let cfg =
     { Scenario.Config.default with vm_count; vm_mem_bytes; workload }
   in
@@ -62,14 +65,20 @@ let scenario_config ?calibration ?seed ~vm_count ~vm_mem_bytes ~workload () =
     | None -> cfg
     | Some calibration -> { cfg with Scenario.Config.calibration }
   in
+  let cfg =
+    match memdyn with
+    | None -> cfg
+    | Some memdyn -> { cfg with Scenario.Config.memdyn }
+  in
   match seed with None -> cfg | Some seed -> { cfg with Scenario.Config.seed }
 
-let run_reboot ?calibration ?(workload = Scenario.Ssh) ?seed
+let run_reboot ?calibration ?(workload = Scenario.Ssh) ?seed ?memdyn
     ?(settle_s = 20.0) ?(horizon_s = 1200.0) ~strategy ~vm_count
     ~vm_mem_bytes () =
   let scenario =
     Scenario.create
-      (scenario_config ?calibration ?seed ~vm_count ~vm_mem_bytes ~workload ())
+      (scenario_config ?calibration ?seed ?memdyn ~vm_count ~vm_mem_bytes
+         ~workload ())
   in
   let engine = Scenario.engine scenario in
   boot_testbed scenario;
@@ -90,6 +99,19 @@ let run_reboot ?calibration ?(workload = Scenario.Ssh) ?seed
       if not (Scenario.vm_is_up v) then
         Simkit.Fault.fail (Simkit.Fault.Not_recovered (Scenario.vm_name v)))
     (Scenario.vms scenario);
+  (* A streamed restore keeps paging cold pages in after the services
+     are already answering; drain until every stream completes so
+     [restore_lag_s] reports the full demand-paging tail. With memdyn
+     off no VM ever has a stream, so this adds zero steps. *)
+  let stream_pending () =
+    List.exists
+      (fun v ->
+        Option.is_some (Xenvmm.Domain.mem_stream (Scenario.vm_domain v)))
+      (Scenario.vms scenario)
+  in
+  while stream_pending () && Simkit.Engine.step engine do
+    ()
+  done;
   let downtimes =
     List.map
       (fun p -> Option.value (Netsim.Prober.longest_outage p) ~default:0.0)
@@ -104,6 +126,7 @@ let run_reboot ?calibration ?(workload = Scenario.Ssh) ?seed
     | [] -> { Simkit.Stat.count = 0; mean = 0.0; stddev = 0.0; min = 0.0; max = 0.0 }
     | _ -> Simkit.Stat.summarize downtimes
   in
+  let vmm = Scenario.vmm scenario in
   {
     strategy;
     vm_count;
@@ -115,6 +138,12 @@ let run_reboot ?calibration ?(workload = Scenario.Ssh) ?seed
     downtime_mean_s = summary.Simkit.Stat.mean;
     downtime_max_s = summary.Simkit.Stat.max;
     spans;
+    saved_image_mib =
+      (match Xenvmm.Vmm.last_saved_image vmm with
+      | Some img ->
+        Simkit.Units.bytes_to_mib (Xenvmm.Image.saved_bytes img)
+      | None -> 0.0);
+    restore_lag_s = Xenvmm.Vmm.last_restore_lag_s vmm;
   }
 
 (* --- Figures 4 and 5 ---------------------------------------------------- *)
@@ -141,22 +170,22 @@ let task_times_of_runs ~x ~(warm : reboot_run) ~(saved : reboot_run)
     boot_s = cold.post_task_s;
   }
 
-let fig4 ?(mem_gib = [ 1; 3; 5; 7; 9; 11 ]) () =
+let fig4 ?(mem_gib = [ 1; 3; 5; 7; 9; 11 ]) ?memdyn () =
   List.map
     (fun gib ->
       let run strategy =
-        run_reboot ~strategy ~vm_count:1
+        run_reboot ?memdyn ~strategy ~vm_count:1
           ~vm_mem_bytes:(Simkit.Units.gib gib) ()
       in
       task_times_of_runs ~x:gib ~warm:(run Strategy.Warm)
         ~saved:(run Strategy.Saved) ~cold:(run Strategy.Cold))
     mem_gib
 
-let fig5 ?(vm_counts = [ 1; 3; 5; 7; 9; 11 ]) () =
+let fig5 ?(vm_counts = [ 1; 3; 5; 7; 9; 11 ]) ?memdyn () =
   List.map
     (fun n ->
       let run strategy =
-        run_reboot ~strategy ~vm_count:n
+        run_reboot ?memdyn ~strategy ~vm_count:n
           ~vm_mem_bytes:(Simkit.Units.gib 1) ()
       in
       task_times_of_runs ~x:n ~warm:(run Strategy.Warm)
@@ -208,11 +237,11 @@ type fig6_row = {
   cold_downtime_s : float;
 }
 
-let fig6 ?(vm_counts = [ 1; 3; 5; 7; 9; 11 ]) ~workload () =
+let fig6 ?(vm_counts = [ 1; 3; 5; 7; 9; 11 ]) ?memdyn ~workload () =
   List.map
     (fun n ->
       let run strategy =
-        (run_reboot ~workload ~strategy ~vm_count:n
+        (run_reboot ~workload ?memdyn ~strategy ~vm_count:n
            ~vm_mem_bytes:(Simkit.Units.gib 1) ())
           .downtime_mean_s
       in
@@ -542,8 +571,8 @@ let section_5_6_fits ?(vm_counts = [ 0; 2; 4; 6; 8; 11 ]) () =
    else. The report is partition-invariant by construction, so a
    cell's JSON (and its sweep-cache entry) is byte-identical for any
    [partitions]. *)
-let fleet_cell ?(partitions = 1) ?(load_rate_per_s = 50.0) ~seed ~hosts ~width
-    ~slo ~strategy () =
+let fleet_cell ?(partitions = 1) ?(load_rate_per_s = 50.0)
+    ?(memdyn = Mem.Memdyn.off) ~seed ~hosts ~width ~slo ~strategy () =
   let partitions =
     match (strategy : Wave.strategy) with
     | Wave.Migrate -> 1
@@ -556,13 +585,75 @@ let fleet_cell ?(partitions = 1) ?(load_rate_per_s = 50.0) ~seed ~hosts ~width
         hosts;
         wave_width = width;
         slo;
-        host = { Scenario.Config.default with seed };
+        host = { Scenario.Config.default with seed; memdyn };
         load_rate_per_s;
         partitions;
       }
   in
   Fleet.start fleet;
   Fleet.run fleet ~strategy
+
+(* --- Elastic restore: strategy x working set x disk ---------------------- *)
+
+type elastic_row = {
+  er_mode : Mem.Memdyn.mode;
+  er_working_set : float;
+  er_disk : string;
+  er_downtime_s : float;
+  er_image_mib : float;
+  er_restore_lag_s : float;
+}
+
+(* The memory-dynamics grid: restore strategy (off / streamed /
+   balloon+streamed) x working-set size x disk generation. One VM with
+   1 GiB under the saved-reboot strategy isolates the image-size and
+   restore-path effects; the 2007 HDD vs modern NVMe axis shows where
+   streaming stops mattering. *)
+let elastic_cell_key (mode, ws, (disk_name, _)) =
+  Printf.sprintf "m=%s/ws=%03d/d=%s"
+    (Mem.Memdyn.mode_name mode)
+    (int_of_float ((ws *. 100.0) +. 0.5))
+    disk_name
+
+let elastic_grid ~smoke ~cell =
+  let disks = [ ("hdd2007", Calibration.default); ("nvme", Calibration.modern) ] in
+  let all =
+    List.concat_map
+      (fun mode ->
+        List.concat_map
+          (fun ws -> List.map (fun d -> (mode, ws, d)) disks)
+          [ 0.2; 0.35; 0.6 ])
+      [ Mem.Memdyn.Off; Mem.Memdyn.Stream; Mem.Memdyn.Balloon_stream ]
+  in
+  match cell with
+  | Some key ->
+    List.filter (fun c -> String.equal (elastic_cell_key c) key) all
+  | None ->
+    if smoke then
+      [ (Mem.Memdyn.Stream, 0.35, ("hdd2007", Calibration.default)) ]
+    else all
+
+let run_elastic_cell ?seed ~workload (mode, ws, (disk_name, calibration)) =
+  let memdyn =
+    match (mode : Mem.Memdyn.mode) with
+    | Mem.Memdyn.Off -> None
+    | m ->
+      Some { (Mem.Memdyn.default m) with Mem.Memdyn.working_set_fraction = ws }
+  in
+  let r =
+    run_reboot ~calibration ~workload ?seed ?memdyn ~strategy:Strategy.Saved
+      ~vm_count:1
+      ~vm_mem_bytes:(Simkit.Units.gib 1)
+      ()
+  in
+  {
+    er_mode = mode;
+    er_working_set = ws;
+    er_disk = disk_name;
+    er_downtime_s = r.downtime_max_s;
+    er_image_mib = r.saved_image_mib;
+    er_restore_lag_s = r.restore_lag_s;
+  }
 
 (* --- Uniform results ----------------------------------------------------- *)
 
@@ -579,6 +670,7 @@ module Result = struct
     | Scalar of { label : string; value : float }
     | Fault_matrix of Fault_matrix.cell list
     | Fleet of Fleet.report list
+    | Elastic of elastic_row list
 
   let kind = function
     | Task_times _ -> "task_times"
@@ -592,6 +684,7 @@ module Result = struct
     | Scalar _ -> "scalar"
     | Fault_matrix _ -> "fault_matrix"
     | Fleet _ -> "fleet"
+    | Elastic _ -> "elastic"
 
   let jf f = Jsonx.Float f
 
@@ -660,6 +753,17 @@ module Result = struct
         ("slo_met", Jsonx.Bool r.Fleet.slo_met);
         ( "skipped",
           Jsonx.Arr (List.map (fun i -> Jsonx.Int i) r.Fleet.skipped) );
+      ]
+
+  let json_elastic (r : elastic_row) =
+    Jsonx.Obj
+      [
+        ("memdyn", Jsonx.Str (Mem.Memdyn.mode_name r.er_mode));
+        ("working_set", jf r.er_working_set);
+        ("disk", Jsonx.Str r.er_disk);
+        ("downtime_s", jf r.er_downtime_s);
+        ("image_mib", jf r.er_image_mib);
+        ("restore_lag_s", jf r.er_restore_lag_s);
       ]
 
   let to_json_tree t =
@@ -731,6 +835,7 @@ module Result = struct
         Jsonx.Obj [ ("label", Jsonx.Str label); ("value", jf value) ]
       | Fault_matrix cells -> Jsonx.Arr (List.map json_fault_cell cells)
       | Fleet reports -> Jsonx.Arr (List.map json_fleet reports)
+      | Elastic rows -> Jsonx.Arr (List.map json_elastic rows)
     in
     Jsonx.Obj [ ("kind", Jsonx.Str (kind t)); ("data", payload) ]
 
@@ -848,6 +953,22 @@ module Result = struct
               string_of_int (List.length r.Fleet.skipped);
             ])
           reports )
+    | Elastic rows ->
+      ( [
+          "memdyn"; "working_set"; "disk"; "downtime_s"; "image_mib";
+          "restore_lag_s";
+        ],
+        List.map
+          (fun (r : elastic_row) ->
+            [
+              Mem.Memdyn.mode_name r.er_mode;
+              fl r.er_working_set;
+              r.er_disk;
+              fl r.er_downtime_s;
+              fl r.er_image_mib;
+              fl r.er_restore_lag_s;
+            ])
+          rows )
 
   (* Shard results of one experiment concatenate; scalar-like results
      only "merge" when the batch produced exactly one of them. *)
@@ -863,6 +984,7 @@ module Result = struct
           | Availability a, Availability b -> Availability (a @ b)
           | Fault_matrix a, Fault_matrix b -> Fault_matrix (a @ b)
           | Fleet a, Fleet b -> Fleet (a @ b)
+          | Elastic a, Elastic b -> Elastic (a @ b)
           | _ ->
             invalid_arg
               (Printf.sprintf "Experiment.Result.merge: cannot merge %s + %s"
@@ -890,6 +1012,12 @@ module Spec = struct
            [params_key]: a fleet run is byte-identical for every
            partition count (that invariant is test-gated), so the
            sweep cache may serve a cell computed at any partitioning. *)
+    memdyn : Mem.Memdyn.mode;
+        (* memory-dynamics mode for fig4 / fig5 / fleet_rolling; the
+           other knobs stay at [Mem.Memdyn.default]. *)
+    cell : string option;
+        (* pins [elastic_restore] to one grid cell (the shard key
+           suffix); [None] = the full grid. *)
   }
 
   let default_params =
@@ -906,6 +1034,8 @@ module Spec = struct
       wave_strategy = None;
       slo = 0.75;
       partitions = 1;
+      memdyn = Mem.Memdyn.Off;
+      cell = None;
     }
 
   let ints_key = function
@@ -914,7 +1044,7 @@ module Spec = struct
 
   let params_key p =
     Printf.sprintf
-      "seed=%d;workload=%s;strategy=%s;vm_counts=%s;mem_gib=%s;site=%s;smoke=%b;fleet_hosts=%s;wave_widths=%s;wave_strategy=%s;slo=%g"
+      "seed=%d;workload=%s;strategy=%s;vm_counts=%s;mem_gib=%s;site=%s;smoke=%b;fleet_hosts=%s;wave_widths=%s;wave_strategy=%s;slo=%g;memdyn=%s;cell=%s"
       p.seed
       (Scenario.workload_name p.workload)
       (Strategy.id p.strategy) (ints_key p.vm_counts) (ints_key p.mem_gib)
@@ -924,6 +1054,8 @@ module Spec = struct
       (ints_key p.wave_widths)
       (Option.fold ~none:"default" ~some:Wave.strategy_id p.wave_strategy)
       p.slo
+      (Mem.Memdyn.mode_name p.memdyn)
+      (Option.value p.cell ~default:"none")
 
   type nonrec t = {
     id : string;
@@ -984,6 +1116,14 @@ let fleet_grid (p : Spec.params) =
         widths)
     hosts
 
+(* Spec params carry only the memdyn [mode]; the remaining knobs are
+   the defaults. [Off] maps to [None] so an off-mode run is the exact
+   pre-memdyn code path. *)
+let memdyn_of_params (p : Spec.params) =
+  match p.Spec.memdyn with
+  | Mem.Memdyn.Off -> None
+  | mode -> Some (Mem.Memdyn.default mode)
+
 let () =
   let single id run =
     {
@@ -1010,7 +1150,9 @@ let () =
                   { p with Spec.mem_gib = Some [ g ] } ))
               (Option.value p.Spec.mem_gib ~default:default_sweep_counts));
         run =
-          (fun p -> Result.Task_times (fig4 ?mem_gib:p.Spec.mem_gib ()));
+          (fun p ->
+            Result.Task_times
+              (fig4 ?mem_gib:p.Spec.mem_gib ?memdyn:(memdyn_of_params p) ()));
       };
       {
         Spec.id = "fig5";
@@ -1023,7 +1165,10 @@ let () =
                   { p with Spec.vm_counts = Some [ n ] } ))
               (Option.value p.Spec.vm_counts ~default:default_sweep_counts));
         run =
-          (fun p -> Result.Task_times (fig5 ?vm_counts:p.Spec.vm_counts ()));
+          (fun p ->
+            Result.Task_times
+              (fig5 ?vm_counts:p.Spec.vm_counts ?memdyn:(memdyn_of_params p)
+                 ()));
       };
       {
         Spec.id = "fig6";
@@ -1038,7 +1183,9 @@ let () =
         run =
           (fun p ->
             Result.Fig6
-              (fig6 ?vm_counts:p.Spec.vm_counts ~workload:p.Spec.workload ()));
+              (fig6 ?vm_counts:p.Spec.vm_counts
+                 ?memdyn:(memdyn_of_params p)
+                 ~workload:p.Spec.workload ()));
       };
       with_doc "Effect of quick reload (Section 5.2)"
         (single "quick_reload" (fun _ -> Result.Reload (quick_reload_effect ())));
@@ -1147,9 +1294,37 @@ let () =
             Result.Fleet
               (List.map
                  (fun (hosts, width, strategy) ->
-                   fleet_cell ~partitions:p.Spec.partitions ~seed:p.Spec.seed
-                     ~hosts ~width ~slo:p.Spec.slo ~strategy ())
+                   fleet_cell ~partitions:p.Spec.partitions
+                     ~memdyn:
+                       (Option.value (memdyn_of_params p)
+                          ~default:Mem.Memdyn.off)
+                     ~seed:p.Spec.seed ~hosts ~width ~slo:p.Spec.slo ~strategy
+                     ())
                  (fleet_grid p)));
+      };
+      {
+        Spec.id = "elastic_restore";
+        doc =
+          "Saved-reboot restore: memdyn mode x working-set size x disk \
+           generation";
+        (* One shard per grid cell, pinned by its own key suffix. Key
+           order is mode, then working set (zero-padded percent), then
+           disk — the grid enumeration order — so the merged rows come
+           back in grid order. *)
+        shards =
+          (fun p ->
+            List.map
+              (fun c ->
+                let key = elastic_cell_key c in
+                ( "elastic_restore/" ^ key,
+                  { p with Spec.cell = Some key } ))
+              (elastic_grid ~smoke:p.Spec.smoke ~cell:p.Spec.cell));
+        run =
+          (fun p ->
+            Result.Elastic
+              (List.map
+                 (run_elastic_cell ~seed:p.Spec.seed ~workload:p.Spec.workload)
+                 (elastic_grid ~smoke:p.Spec.smoke ~cell:p.Spec.cell)));
       };
     ]
 

@@ -15,12 +15,19 @@ type reboot_run = {
   downtime_mean_s : float;
   downtime_max_s : float;
   spans : (string * float * float) list;  (** full trace *)
+  saved_image_mib : float;
+      (** size of the last saved VMM image (resident pages + execution
+          state); 0 when the strategy never saved one *)
+  restore_lag_s : float;
+      (** how long after resume the last streamed restore kept paging
+          cold pages in; 0 under stop-and-copy restore *)
 }
 
 val run_reboot :
   ?calibration:Calibration.t ->
   ?workload:Scenario.workload ->
   ?seed:int ->
+  ?memdyn:Mem.Memdyn.t ->
   ?settle_s:float ->
   ?horizon_s:float ->
   strategy:Strategy.t ->
@@ -29,9 +36,12 @@ val run_reboot :
   unit ->
   reboot_run
 (** Boot the testbed, attach probers, run one VMM rejuvenation with the
-    given strategy, and measure. Raises [Simkit.Fault.Error] if any VM
-    fails to come back before the horizon ([Not_recovered]) or the run
-    misses its deadline ([Timeout]). *)
+    given strategy, and measure. [memdyn] (default off) enables the
+    memory-dynamics subsystem — dirty-page tracking, pre-suspend
+    ballooning, streamed restore — on every VM. Raises
+    [Simkit.Fault.Error] if any VM fails to come back before the
+    horizon ([Not_recovered]) or the run misses its deadline
+    ([Timeout]). *)
 
 (** {1 Figure 4/5: pre- and post-reboot task times} *)
 
@@ -45,10 +55,12 @@ type task_times = {
   boot_s : float;
 }
 
-val fig4 : ?mem_gib:int list -> unit -> task_times list
+val fig4 :
+  ?mem_gib:int list -> ?memdyn:Mem.Memdyn.t -> unit -> task_times list
 (** One VM, memory swept 1–11 GiB (paper default). *)
 
-val fig5 : ?vm_counts:int list -> unit -> task_times list
+val fig5 :
+  ?vm_counts:int list -> ?memdyn:Mem.Memdyn.t -> unit -> task_times list
 (** 1 GiB per VM, count swept 1–11. *)
 
 (** {1 Section 5.2: effect of quick reload} *)
@@ -69,7 +81,11 @@ type fig6_row = {
 }
 
 val fig6 :
-  ?vm_counts:int list -> workload:Scenario.workload -> unit -> fig6_row list
+  ?vm_counts:int list ->
+  ?memdyn:Mem.Memdyn.t ->
+  workload:Scenario.workload ->
+  unit ->
+  fig6_row list
 
 (** {1 Section 5.3: availability} *)
 
@@ -126,9 +142,31 @@ val section_5_6_fits : ?vm_counts:int list -> unit -> Downtime_model.fits
 (** Re-measure the model's component functions on the simulator and
     fit lines, as the paper does from its testbed. *)
 
+(** {1 Elastic restore: memdyn mode x working set x disk} *)
+
+type elastic_row = {
+  er_mode : Mem.Memdyn.mode;
+  er_working_set : float;  (** working-set fraction of RAM *)
+  er_disk : string;  (** calibration name: "hdd2007" or "nvme" *)
+  er_downtime_s : float;  (** longest service outage (saved reboot) *)
+  er_image_mib : float;  (** saved VMM image size *)
+  er_restore_lag_s : float;
+      (** post-resume cold-page streaming duration *)
+}
+
+val run_elastic_cell :
+  ?seed:int ->
+  workload:Scenario.workload ->
+  Mem.Memdyn.mode * float * (string * Calibration.t) ->
+  elastic_row
+(** One ["elastic_restore"] grid cell: a 1 GiB VM under the saved
+    reboot with the given memdyn mode, working-set fraction, and named
+    disk calibration. *)
+
 val fleet_cell :
   ?partitions:int ->
   ?load_rate_per_s:float ->
+  ?memdyn:Mem.Memdyn.t ->
   seed:int ->
   hosts:int ->
   width:int ->
@@ -166,6 +204,8 @@ module Result : sig
         (** the fault-injection campaign *)
     | Fleet of Fleet.report list
         (** the fleet-scale rolling-rejuvenation grid *)
+    | Elastic of elastic_row list
+        (** the memory-dynamics restore grid *)
 
   val kind : t -> string
   (** Constructor name, for dispatch and the JSON envelope. *)
@@ -189,7 +229,8 @@ end
     stable id — ["fig4"], ["fig5"], ["fig6"], ["quick_reload"],
     ["os_rejuvenation"], ["availability"], ["fig7"], ["fig8_file"],
     ["fig8_web"], ["section_5_6_fits"], ["fig9"], ["fault_matrix"],
-    ["fleet_rolling"] — so the CLI, the bench harness and the sweep
+    ["fleet_rolling"], ["elastic_restore"] — so the CLI, the bench
+    harness and the sweep
     runner can enumerate and run them uniformly. *)
 
 module Spec : sig
@@ -218,6 +259,15 @@ module Spec : sig
             Deliberately not part of {!params_key}: a fleet cell is
             byte-identical for every partition count, so the sweep
             cache may serve it computed at any partitioning. *)
+    memdyn : Mem.Memdyn.mode;
+        (** memory-dynamics mode for [fig4] / [fig5] /
+            [fleet_rolling]; default [Off], the exact pre-memdyn code
+            path. The remaining memdyn knobs stay at
+            [Mem.Memdyn.default]. *)
+    cell : string option;
+        (** pins [elastic_restore] to one grid cell (the shard-key
+            suffix, e.g. ["m=stream/ws=035/d=hdd2007"]); [None] = the
+            full grid. *)
   }
 
   val default_params : params

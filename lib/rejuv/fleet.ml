@@ -166,8 +166,19 @@ let migrate_then_reboot t c k =
   let src = Scenario.vmm c.node in
   let dst = Scenario.vmm t.fleet_spare in
   let kernels = List.map Scenario.vm_kernel (Scenario.vms c.node) in
+  (* Conservative evacuation rate: the worst tracker-modulated dirty
+     rate across the host's VMs (the static workload rate while memdyn
+     is off — every domain then reports exactly that). *)
+  let workload = t.cfg.Config.host.Scenario.Config.workload in
+  let now = Simkit.Engine.now (Scenario.engine c.node) in
   let dirty_bytes_per_s =
-    Migration.dirty_rate_of_workload t.cfg.Config.host.Scenario.Config.workload
+    List.fold_left
+      (fun acc v ->
+        Float.max acc
+          (Migration.dirty_rate_of_domain ~workload
+             (Scenario.vm_domain v) ~now))
+      (Migration.dirty_rate_of_workload workload)
+      (Scenario.vms c.node)
   in
   let give_up what e =
     trace_host c "%s failed: %s" what (Vmm.error_message e);

@@ -23,6 +23,17 @@ let dirty_rate_of_workload = function
   | Scenario.Jboss -> 8.0 *. 1048576.0
   | Scenario.Web _ -> 20.0 *. 1048576.0
 
+(* With memory dynamics on, the PML-style tracker modulates the
+   workload's static dirty rate by its current epoch's factor; without
+   a tracker this is exactly [dirty_rate_of_workload]. *)
+let dirty_rate_of_domain ~workload dom ~now =
+  let base = dirty_rate_of_workload workload in
+  match Domain.mem_tracker dom with
+  | None -> base
+  | Some ps ->
+    Mem.Pagestate.refresh ps ~now;
+    base *. Mem.Pagestate.dirty_rate_factor ps
+
 type plan = {
   rounds : (int * float) list;
   precopy_s : float;
@@ -90,6 +101,14 @@ let migrate ?(config = default_config) ~src ~dst ~kernel ~dirty_bytes_per_s k =
         Simkit.Trace.end_span trace span;
         k (Error e)
       | Ok new_dom ->
+        (* A ballooned source only has its resident pages to move; the
+           first pre-copy round (and the dirtying cap) shrink with it.
+           Without a tracker this is the full RAM, as before. *)
+        let transfer_bytes =
+          match Domain.mem_tracker dom with
+          | Some ps -> Stdlib.min mem_bytes (Mem.Pagestate.resident_bytes ps)
+          | None -> mem_bytes
+        in
         let rec precopy remaining round kdone =
           if
             round >= config.max_rounds
@@ -99,13 +118,13 @@ let migrate ?(config = default_config) ~src ~dst ~kernel ~dirty_bytes_per_s k =
             let duration = round_duration config remaining in
             Simkit.Process.delay engine duration (fun () ->
                 let dirtied =
-                  Stdlib.min mem_bytes
+                  Stdlib.min transfer_bytes
                     (int_of_float (dirty_bytes_per_s *. duration))
                 in
                 precopy dirtied (round + 1) kdone)
           end
         in
-        precopy mem_bytes 0 (fun residual ->
+        precopy transfer_bytes 0 (fun residual ->
             (* Stop-and-copy: the guest's suspend handler freezes the
                services; the residual dirty set and the execution state
                cross the link; the domain activates on the destination. *)

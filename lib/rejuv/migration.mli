@@ -31,6 +31,12 @@ val dirty_rate_of_workload : Scenario.workload -> float
 (** Bytes dirtied per second while running: ssh is nearly idle, JBoss
     moderate, a loaded web server substantial. *)
 
+val dirty_rate_of_domain :
+  workload:Scenario.workload -> Xenvmm.Domain.t -> now:float -> float
+(** The static workload rate, modulated by the domain's memory-dynamics
+    tracker (refreshed to [now]) when one is attached — i.e. exactly
+    {!dirty_rate_of_workload} while memdyn is off. *)
+
 (** {1 Analytic plan} *)
 
 type plan = {

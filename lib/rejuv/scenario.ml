@@ -147,7 +147,33 @@ let observe reg t =
         ~prefix:("guest.page_cache." ^ v.vname)
         reg
         (fun () -> Guest.Kernel.page_cache v.vkernel))
-    t.vm_list
+    t.vm_list;
+  (* Memory-dynamics gauges exist only when memdyn is on, so the
+     exported metric set (and with it any seeded output) is untouched
+     in the default configuration. All readers are draw-free. *)
+  if Mem.Memdyn.enabled (Vmm.memdyn t.hypervisor) then begin
+    let sum_trackers f () =
+      List.fold_left
+        (fun acc v ->
+          match Domain.mem_tracker v.vdomain with
+          | Some ps -> acc +. f ps
+          | None -> acc)
+        0.0 t.vm_list
+    in
+    Obs.Registry.gauge reg "mem.resident_pages"
+      (sum_trackers (fun ps -> float_of_int (Mem.Pagestate.resident_pages ps)));
+    Obs.Registry.gauge reg "mem.dirty_rate"
+      (sum_trackers Mem.Pagestate.dirty_rate_pages_per_s);
+    Obs.Registry.gauge reg "balloon.reclaimed"
+      (sum_trackers (fun ps -> float_of_int (Mem.Pagestate.ballooned_pages ps)));
+    Obs.Registry.gauge reg "restore.faults_outstanding" (fun () ->
+        List.fold_left
+          (fun acc v ->
+            match Domain.mem_stream v.vdomain with
+            | Some s -> acc +. float_of_int (Mem.Stream.batches_outstanding s)
+            | None -> acc)
+          0.0 t.vm_list)
+  end
 
 let attach_timeline ?(registry : Obs.Registry.t option) ?(every_s = 1.0) ?until
     t =
@@ -167,6 +193,7 @@ module Config = struct
     name_prefix : string;
     engine : Simkit.Engine.t option;
     plan : Simkit.Fault.Plan.t option;
+    memdyn : Mem.Memdyn.t;
   }
 
   let default = (* simlint: allow D011 immutable template; engine and plan are None here *)
@@ -180,6 +207,7 @@ module Config = struct
       name_prefix = "";
       engine = None;
       plan = None;
+      memdyn = Mem.Memdyn.off;
     }
 
   let with_vms ?mem_bytes vm_count t =
@@ -195,6 +223,7 @@ module Config = struct
   let with_drivers driver_vm_count t = { t with driver_vm_count }
   let with_prefix name_prefix t = { t with name_prefix }
   let on_engine engine t = { t with engine = Some engine }
+  let with_memdyn memdyn t = { t with memdyn }
 end
 
 let create (cfg : Config.t) =
@@ -208,6 +237,7 @@ let create (cfg : Config.t) =
     name_prefix;
     engine;
     plan;
+    memdyn;
   } =
     cfg
   in
@@ -234,6 +264,11 @@ let create (cfg : Config.t) =
   in
   Vmm.set_fault_plan hypervisor (Some plan);
   Hw.Disk.set_fault_plan hw_host.Hw.Host.disk (Some plan);
+  (* Fold the scenario seed into the memdyn seed so different seeds get
+     different working sets; per-domain streams still hash the domain
+     name on top, keeping them stable across fleet partitioning. *)
+  Vmm.set_memdyn hypervisor
+    { memdyn with Mem.Memdyn.seed = (memdyn.Mem.Memdyn.seed * 1_000_003) + seed };
   let t =
     {
       cal = calibration;

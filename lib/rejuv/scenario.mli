@@ -74,6 +74,11 @@ module Config : sig
     plan : Simkit.Fault.Plan.t option;
         (** fault-injection plan wired into VMM and disk; default a
             fresh plan seeded from [seed] with nothing armed *)
+    memdyn : Mem.Memdyn.t;
+        (** memory dynamics (ballooning / streamed restore) for every
+            VM on this host; default {!Mem.Memdyn.off}, which is
+            behaviourally invisible. The scenario seed is folded into
+            [memdyn.seed] at {!create}. *)
   }
 
   val default : t
@@ -85,6 +90,7 @@ module Config : sig
   val with_drivers : int -> t -> t
   val with_prefix : string -> t -> t
   val on_engine : Simkit.Engine.t -> t -> t
+  val with_memdyn : Mem.Memdyn.t -> t -> t
 end
 
 val create : Config.t -> t
@@ -136,7 +142,13 @@ val attach_probers : t -> ?interval_s:float -> unit -> Netsim.Prober.t list
     [Obs] registry: engine self-metrics, disk gauges, VMM heap gauges
     and one gauge set per VM page cache. Gauges read through getters,
     so they follow components rebuilt by reboots; when several
-    scenarios run in one process the newest registration wins. *)
+    scenarios run in one process the newest registration wins.
+
+    When memdyn is enabled, four more gauges appear (and only then, so
+    the default metric set is unchanged): [mem.resident_pages],
+    [mem.dirty_rate] (pages/s), [balloon.reclaimed] (pages) and
+    [restore.faults_outstanding] (cold batches still to page in),
+    each summed over this scenario's VMs. *)
 
 val observe : Obs.Registry.t -> t -> unit
 (** Re-register this scenario's components into [reg] (e.g. a fresh

@@ -51,6 +51,8 @@ type t = {
   mutable on_suspend : Simkit.Process.task;
   mutable on_resume : Simkit.Process.task;
   mutable dom_suspend_port : Event_channel.port option;
+  mutable dom_mem_tracker : Mem.Pagestate.t option;
+  mutable dom_mem_stream : Mem.Stream.t option;
 }
 
 let create ~id ~name ~kind ~mem_bytes =
@@ -70,6 +72,8 @@ let create ~id ~name ~kind ~mem_bytes =
     on_suspend = Simkit.Process.now;
     on_resume = Simkit.Process.now;
     dom_suspend_port = None;
+    dom_mem_tracker = None;
+    dom_mem_stream = None;
   }
 
 let id t = t.dom_id
@@ -134,6 +138,11 @@ let set_suspend_handler t task = t.on_suspend <- task
 let suspend_handler t = t.on_suspend
 let set_resume_handler t task = t.on_resume <- task
 let resume_handler t = t.on_resume
+
+let mem_tracker t = t.dom_mem_tracker
+let set_mem_tracker t v = t.dom_mem_tracker <- v
+let mem_stream t = t.dom_mem_stream
+let set_mem_stream t v = t.dom_mem_stream <- v
 
 let is_domu t = match t.dom_kind with DomU -> true | Dom0 -> false
 

@@ -101,6 +101,21 @@ val set_resume_handler : t -> Simkit.Process.task -> unit
 
 val resume_handler : t -> Simkit.Process.task
 
+val mem_tracker : t -> Mem.Pagestate.t option
+(** The memory-dynamics tracker the VMM attached when memdyn is
+    enabled; [None] whenever memdyn is off (the byte-identity
+    guarantee rides on that). Travels with the domain through
+    suspend/save/restore. *)
+
+val set_mem_tracker : t -> Mem.Pagestate.t option -> unit
+
+val mem_stream : t -> Mem.Stream.t option
+(** The in-flight streamed-restore bookkeeping, present only between a
+    demand-paged resume and the arrival of the last cold batch. Guest
+    request paths read it for the page-fault latency tax. *)
+
+val set_mem_stream : t -> Mem.Stream.t option -> unit
+
 val is_domu : t -> bool
 
 val pp : Format.formatter -> t -> unit

@@ -21,3 +21,28 @@ let pp ppf t =
   Format.fprintf ppf "image(vmm %a, kernel %a, initrd %a)"
     Simkit.Units.pp_bytes t.vmm_bytes Simkit.Units.pp_bytes
     t.dom0_kernel_bytes Simkit.Units.pp_bytes t.initrd_bytes
+
+type saved = {
+  resident_bytes : int;
+  exec_state_bytes : int;
+  total_ram_bytes : int;
+}
+
+let saved ~resident_bytes ~exec_state_bytes ~total_ram_bytes =
+  if resident_bytes <= 0 then
+    invalid_arg "Image.saved: resident_bytes must be positive";
+  if resident_bytes > total_ram_bytes then
+    invalid_arg "Image.saved: resident_bytes exceeds total_ram_bytes";
+  if exec_state_bytes < 0 then
+    invalid_arg "Image.saved: exec_state_bytes must be >= 0";
+  { resident_bytes; exec_state_bytes; total_ram_bytes }
+
+let saved_bytes s = s.resident_bytes + s.exec_state_bytes
+
+let hot_bytes s ~working_set_bytes =
+  min (saved_bytes s) (max 0 working_set_bytes + s.exec_state_bytes)
+
+let pp_saved ppf s =
+  Format.fprintf ppf "saved(%a resident of %a RAM, %a exec state)"
+    Simkit.Units.pp_bytes s.resident_bytes Simkit.Units.pp_bytes
+    s.total_ram_bytes Simkit.Units.pp_bytes s.exec_state_bytes

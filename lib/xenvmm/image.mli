@@ -21,3 +21,37 @@ val total_bytes : t -> int
 val v : vmm_bytes:int -> dom0_kernel_bytes:int -> initrd_bytes:int -> t
 
 val pp : Format.formatter -> t -> unit
+
+(** {1 Saved-domain images}
+
+    What [xm save] writes for one domain: its resident memory pages
+    plus the execution state (event-channel table, device state,
+    registers). Historically the simulator sized this as the full
+    configured RAM; with memory dynamics enabled the resident part is
+    [O(resident − reclaimed)] because the balloon driver returns idle
+    pages before the suspend. *)
+
+type saved = {
+  resident_bytes : int;  (** Memory pages actually written. *)
+  exec_state_bytes : int;  (** Channels, devices, registers. *)
+  total_ram_bytes : int;
+      (** The domain's configured RAM — what a restore must be able to
+          re-inflate to; not part of the on-disk size. *)
+}
+
+val saved :
+  resident_bytes:int -> exec_state_bytes:int -> total_ram_bytes:int -> saved
+(** @raise Invalid_argument unless
+    [0 < resident_bytes <= total_ram_bytes] and
+    [exec_state_bytes >= 0]. *)
+
+val saved_bytes : saved -> int
+(** On-disk size: [resident_bytes + exec_state_bytes]. This is the byte
+    count a suspend writes and a stop-and-copy restore reads, so it is
+    what suspend/resume timing is driven by. *)
+
+val hot_bytes : saved -> working_set_bytes:int -> int
+(** The prefix a streamed restore reads before resuming: the working
+    set plus the execution state, clamped to {!saved_bytes}. *)
+
+val pp_saved : Format.formatter -> saved -> unit

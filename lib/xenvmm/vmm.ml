@@ -14,7 +14,7 @@ let error_message = Fault.to_string
 
 type saved_image = {
   img_domain : Domain.t;
-  img_mem_bytes : int;
+  img_image : Image.saved;
 }
 
 type vmm_state = Powered_off | Vmm_running
@@ -47,6 +47,9 @@ type t = {
   sched : Scheduler.t;
   mutable grant_table : Grant_table.t;
   mutable fault_plan : Fault.Plan.t option;
+  mutable memdyn : Mem.Memdyn.t;
+  mutable last_saved_image : Image.saved option;
+  mutable last_restore_lag_s : float;
 }
 
 let create ?(timing = Timing.default) ?(heap_capacity = Vmm_heap.default_capacity_bytes)
@@ -77,9 +80,16 @@ let create ?(timing = Timing.default) ?(heap_capacity = Vmm_heap.default_capacit
     sched = Scheduler.create hw.Hw.Host.engine ~physical_cpus:4 ();
     grant_table = Grant_table.create ();
     fault_plan = None;
+    memdyn = Mem.Memdyn.off;
+    last_saved_image = None;
+    last_restore_lag_s = 0.0;
   }
 
 let set_fault_plan t plan = t.fault_plan <- plan
+let set_memdyn t m = t.memdyn <- Mem.Memdyn.validate m
+let memdyn t = t.memdyn
+let last_saved_image t = t.last_saved_image
+let last_restore_lag_s t = t.last_restore_lag_s
 
 (* Consult the scenario's injection plan at a named site. *)
 let injected t ~site =
@@ -165,9 +175,11 @@ let exec_state_frame_count t =
   Simkit.Units.pages_of_bytes t.timing.Timing.exec_state_bytes
 
 (* Allocate machine memory for a domain: the P2M table's own frames plus
-   the guest memory, and populate the mapping table. *)
-let allocate_domain_memory t dom =
-  let mem_bytes = Domain.mem_bytes dom in
+   the guest memory, and populate the mapping table. [mem_bytes]
+   defaults to the domain's configured RAM; a restore of a ballooned
+   image passes the smaller resident size instead. *)
+let allocate_domain_memory ?mem_bytes t dom =
+  let mem_bytes = Option.value mem_bytes ~default:(Domain.mem_bytes dom) in
   let p2m = Domain.p2m dom in
   let mem_pages = Simkit.Units.pages_of_bytes mem_bytes in
   let table_pages = Simkit.Units.pages_of_bytes (mem_pages * 8) in
@@ -566,6 +578,12 @@ let create_domain t ~name ~mem_bytes k =
         release_domain_heap t d;
         k (Error e)
       | Ok () ->
+        if Mem.Memdyn.enabled t.memdyn then
+          Domain.set_mem_tracker d
+            (Some
+               (Mem.Pagestate.create ~memdyn:t.memdyn ~name
+                  ~total_bytes:mem_bytes
+                  ~now:(Simkit.Engine.now (engine t))));
         Hashtbl.replace t.domains id d;
         emit t (Hypercall (Hypercall.Domctl_create id));
         Simkit.Process.delay (engine t) t.timing.Timing.domain_create_s
@@ -590,6 +608,19 @@ let destroy_domain t dom k =
       emit t (Domain_destroyed (Domain.id dom));
       k ())
 
+(* Keep the memory-dynamics tracker's ballooned count in step with the
+   p2m whenever the balloon moves, whoever drove it (the guest's
+   balloon driver or the pre-suspend reclaim). *)
+let note_balloon_delta dom ~pages =
+  match Domain.mem_tracker dom with
+  | None -> ()
+  | Some ps ->
+    let total = Mem.Pagestate.total_pages ps in
+    let target =
+      min (total - 1) (max 0 (Mem.Pagestate.ballooned_pages ps + pages))
+    in
+    Mem.Pagestate.set_ballooned ps ~pages:target
+
 let balloon t dom ~delta_bytes =
   if t.vmm_state <> Vmm_running then Error Fault.Vmm_down
   else if delta_bytes = 0 then Ok ()
@@ -608,6 +639,7 @@ let balloon t dom ~delta_bytes =
               pfn + ext.Hw.Frame.count)
             (P2m.pages p2m) extents
         in
+        note_balloon_delta dom ~pages:(-add_pages);
         Ok ()
     end
     else begin
@@ -620,6 +652,7 @@ let balloon t dom ~delta_bytes =
             ~count:remove_pages
         in
         Hw.Frame.free (frames t) released;
+        note_balloon_delta dom ~pages:remove_pages;
         Ok ()
       end
     end
@@ -746,9 +779,34 @@ let save_domain_to_disk t d k =
             Domain.set_state d Domain.Running;
             k (Error fault))
       in
-      let image_bytes =
-        Domain.mem_bytes d + t.timing.Timing.exec_state_bytes
+      (* Pre-suspend balloon reclaim: inflate over the idle pages so
+         the written image shrinks to the policy's keep target. The
+         working set stays resident, so service times after the
+         restore are unaffected. *)
+      (match Domain.mem_tracker d with
+      | Some ps when Mem.Memdyn.balloon_enabled t.memdyn ->
+        Mem.Pagestate.refresh ps ~now:(Simkit.Engine.now (engine t));
+        let reclaim = Mem.Balloon.reclaim_target ps in
+        if reclaim > 0 then
+          ignore
+            (balloon t d
+               ~delta_bytes:(-(reclaim * Simkit.Units.page_bytes)))
+      | _ -> ());
+      (* The frozen image on disk is the new clean snapshot. *)
+      (match Domain.mem_tracker d with
+      | Some ps -> Mem.Pagestate.clear_dirty ps
+      | None -> ());
+      let resident_bytes =
+        match Domain.mem_tracker d with
+        | Some ps -> Mem.Pagestate.resident_bytes ps
+        | None -> Domain.mem_bytes d
       in
+      let image =
+        Image.saved ~resident_bytes
+          ~exec_state_bytes:t.timing.Timing.exec_state_bytes
+          ~total_ram_bytes:(Domain.mem_bytes d)
+      in
+      let image_bytes = Image.saved_bytes image in
       if injected t ~site:"vmm.suspend" then
         abort_save (Fault.Suspend_failed (Domain.name d))
       else
@@ -777,8 +835,9 @@ let save_domain_to_disk t d k =
               Hw.Frame.free (frames t) (Domain.p2m_frames d);
               Domain.set_p2m_frames d [];
               release_domain_heap t d;
+              t.last_saved_image <- Some image;
               Hashtbl.replace t.saved (Domain.name d)
-                { img_domain = d; img_mem_bytes = Domain.mem_bytes d };
+                { img_domain = d; img_image = image };
               Domain.set_state d Domain.Saved_to_disk;
               store_domain_state t d;
               k (Ok ()))))
@@ -797,7 +856,10 @@ let restore_domain_from_disk t ~name k =
       match charge_domain_heap t d with
       | Error e -> k (Error e)
       | Ok () -> (
-        match allocate_domain_memory t d with
+        match
+          allocate_domain_memory ~mem_bytes:img.img_image.Image.resident_bytes
+            t d
+        with
         | Error e ->
           release_domain_heap t d;
           k (Error e)
@@ -805,10 +867,20 @@ let restore_domain_from_disk t ~name k =
           Domain.set_state d Domain.Resuming;
           emit t (Hypercall (Hypercall.Domctl_create (Domain.id d)));
           Hashtbl.replace t.domains (Domain.id d) d;
-          let image_bytes =
-            img.img_mem_bytes + t.timing.Timing.exec_state_bytes
+          let image_bytes = Image.saved_bytes img.img_image in
+          (* A streamed restore reads only the hot prefix (working set
+             + execution state) before resuming; the cold remainder
+             faults in from disk while the guest already serves. *)
+          let hot_bytes =
+            match Domain.mem_tracker d with
+            | Some ps when Mem.Memdyn.stream_enabled t.memdyn ->
+              Mem.Pagestate.refresh ps ~now:(Simkit.Engine.now (engine t));
+              Image.hot_bytes img.img_image
+                ~working_set_bytes:(Mem.Pagestate.working_set_bytes ps)
+            | _ -> image_bytes
           in
-          Hw.Disk.read t.hw.Hw.Host.disk ~bytes:image_bytes (fun () ->
+          let cold_bytes = image_bytes - hot_bytes in
+          Hw.Disk.read t.hw.Hw.Host.disk ~bytes:hot_bytes (fun () ->
               Simkit.Process.delay (engine t)
                 t.timing.Timing.restore_fixed_s (fun () ->
                   (match Domain.exec_state d with
@@ -819,16 +891,50 @@ let restore_domain_from_disk t ~name k =
                   | None -> ());
                   Domain.set_exec_state d None;
                   Hashtbl.remove t.saved name;
-                  (* The image file is deleted once the VM is back. *)
-                  Hw.Disk.release_space t.hw.Hw.Host.disk ~bytes:image_bytes;
+                  if cold_bytes = 0 then
+                    (* The image file is deleted once the VM is back. *)
+                    Hw.Disk.release_space t.hw.Hw.Host.disk
+                      ~bytes:image_bytes;
                   Domain.resume_handler d (fun () ->
                       Domain.set_state d Domain.Running;
                       store_domain_entry t d;
+                      if cold_bytes > 0 then begin
+                        let s =
+                          Mem.Stream.create ~memdyn:t.memdyn
+                            ~cold_bytes
+                        in
+                        Domain.set_mem_stream d (Some s);
+                        let resumed_at = Simkit.Engine.now (engine t) in
+                        (* Background fault-in: demand-paged batches
+                           charged as random reads; the image file
+                           only goes away once the last one lands. *)
+                        let rec pump () =
+                          let batch = Mem.Stream.next_batch_bytes s in
+                          if batch = 0 then begin
+                            Domain.set_mem_stream d None;
+                            t.last_restore_lag_s <-
+                              Simkit.Engine.now (engine t) -. resumed_at;
+                            Hw.Disk.release_space t.hw.Hw.Host.disk
+                              ~bytes:image_bytes
+                          end
+                          else
+                            Hw.Disk.read t.hw.Hw.Host.disk ~bytes:batch
+                              ~random:true (fun () ->
+                                Mem.Stream.note_paged_in s ~bytes_:batch;
+                                pump ())
+                        in
+                        pump ()
+                      end;
                       k (Ok d))))))
 
 let saved_images t =
   Hashtbl.fold (fun name _ acc -> name :: acc) t.saved []
   |> List.sort String.compare
+
+let saved_image_bytes t ~name =
+  Option.map
+    (fun img -> Image.saved_bytes img.img_image)
+    (Hashtbl.find_opt t.saved name)
 
 (* --- introspection ------------------------------------------------------ *)
 

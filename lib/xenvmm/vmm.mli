@@ -37,6 +37,25 @@ val set_fault_plan : t -> Simkit.Fault.Plan.t option -> unit
     save-time suspend), ["vmm.reload"] (quick reload), ["xend.resume"]
     (resume and restore). *)
 
+val set_memdyn : t -> Mem.Memdyn.t -> unit
+(** Configure memory dynamics for every domain this VMM creates from
+    now on. With the default {!Mem.Memdyn.off} nothing changes:
+    domains get no tracker, saves size images at full RAM, restores
+    are stop-and-copy, and no extra events or RNG draws occur — seeded
+    runs stay byte-identical.
+    @raise Invalid_argument on an invalid configuration. *)
+
+val memdyn : t -> Mem.Memdyn.t
+
+val last_saved_image : t -> Image.saved option
+(** The most recent image {!save_domain_to_disk} wrote, for
+    introspection by experiments and benchmarks. *)
+
+val last_restore_lag_s : t -> float
+(** How long the most recent streamed restore kept faulting cold pages
+    in after the domain resumed ([0] until a streamed restore
+    completes). *)
+
 val create :
   ?timing:Timing.t ->
   ?heap_capacity:int ->
@@ -158,6 +177,10 @@ val restore_domain_from_disk :
 
 val saved_images : t -> string list
 (** Names of domains currently saved on disk. *)
+
+val saved_image_bytes : t -> name:string -> int option
+(** On-disk size of the named saved image
+    ({!Image.saved_bytes}: resident memory + execution state). *)
 
 (** {1 VMM reboot paths} *)
 

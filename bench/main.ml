@@ -5,7 +5,7 @@
 
    Usage: main.exe [-j N] [tag ...] where tag is one of
    fig4 fig5 reload fig6a fig6b avail fig7 fig8a fig8b fits policy fig9
-   memdyn
+   memdyn traffic
    migration ablation cluster fleet parfleet sensitivity faults sweep
    eventcore micro. No tags = everything. The swept
    figures (fig4/fig5/fig6) run their points through the parallel sweep
@@ -24,12 +24,12 @@ let jobs = ref (Runner.Pool.default_jobs ())
 
    Each section records its headline numbers; the driver adds simulator
    self-metrics (wall time, events, events/s) per section and writes the
-   whole batch as a roothammer-bench/1 file (default BENCH_PR9.json).
+   whole batch as a roothammer-bench/1 file (default BENCH_PR10.json).
    Simulation outputs get a tolerance band and are gated by
    `benchstat --check` against the committed BENCH_BASELINE.json;
    timing self-metrics are informational (tolerance null). *)
 
-let bench_out = ref "BENCH_PR9.json"
+let bench_out = ref "BENCH_PR10.json"
 let bench_metrics : (string * Benchstat.Check.metric) list ref = ref []
 
 let record ?(unit_ = "s")
@@ -794,6 +794,163 @@ let wall_of f =
   let r = f () in
   (r, Unix.gettimeofday () -. t0)
 
+(* --- Elastic traffic model ------------------------------------------------- *)
+
+(* The hybrid fluid-flow aggregation gates: (a) the aggregate modes must
+   reproduce the per-request fig7 observables at small n (steady
+   throughput and outage width within 5%), and (b) aggregation must cut
+   engine events by at least 10x at 1000 clients — the O(flows) ->
+   O(epochs) win that unlocks the 1M-client hybrid fleet cell closing
+   the section. *)
+let traffic () =
+  header "Traffic model: fluid/hybrid client aggregation vs per-request";
+  let cell ?(clients = 10) mode =
+    let ev0 = Simkit.Engine.domain_events_processed () in
+    let row, wall =
+      wall_of (fun () ->
+          Rejuv.Experiment.run_traffic_cell ~seed:7
+            (mode, clients, Rejuv.Strategy.Warm))
+    in
+    (row, Simkit.Engine.domain_events_processed () - ev0, wall)
+  in
+  pf "fig7-shaped cell (warm reboot at t=20 s), 10 clients, seed 7:@.";
+  pf "%-12s %10s %9s %10s %10s %12s@." "mode" "steady-rps" "outage-s"
+    "completed" "failed" "sim-events";
+  let small =
+    List.map
+      (fun mode ->
+        let (row : Rejuv.Experiment.traffic_row), events, _ = cell mode in
+        pf "%-12s %10.1f %9.1f %10d %10d %12d@."
+          (Netsim.Fluid.mode_name mode)
+          row.tw_steady_rps row.tw_outage_s row.tw_completed row.tw_failed
+          events;
+        (mode, row))
+      [ Netsim.Fluid.Per_request; Netsim.Fluid.Fluid; Netsim.Fluid.Hybrid ]
+  in
+  let pr : Rejuv.Experiment.traffic_row =
+    List.assoc Netsim.Fluid.Per_request small
+  in
+  let within pct a reference =
+    Float.abs (a -. reference) <= pct *. Float.max (Float.abs reference) 1e-9
+  in
+  let equivalent =
+    List.for_all
+      (fun (_, (r : Rejuv.Experiment.traffic_row)) ->
+        within 0.05 r.tw_steady_rps pr.tw_steady_rps
+        && within 0.05 r.tw_outage_s pr.tw_outage_s)
+      small
+  in
+  pf "aggregate modes within 5%% of per-request (steady + outage): %b@."
+    equivalent;
+  record ~unit_:"bool" ~tolerance_pct:(Some 0.0) "traffic.equivalence_ok"
+    (if equivalent then 1.0 else 0.0);
+  record ~unit_:"req/s" "traffic.per_request.steady_rps" pr.tw_steady_rps;
+  record "traffic.per_request.outage_s" pr.tw_outage_s;
+  (* A saturated cell barely rewards aggregation: with zero think time
+     even the 4-connection tracer runs at server capacity, so hybrid
+     still simulates ~capacity x horizon requests. Informational. *)
+  let _, ev_pr_sat, wall_pr_sat = cell ~clients:1000 Netsim.Fluid.Per_request in
+  let _, ev_hy_sat, wall_hy_sat = cell ~clients:1000 Netsim.Fluid.Hybrid in
+  pf "1000 zero-think clients (saturated): per-request %d events (%.2f s), \
+      hybrid %d events (%.2f s) — %.1fx@."
+    ev_pr_sat wall_pr_sat ev_hy_sat wall_hy_sat
+    (float_of_int ev_pr_sat /. float_of_int (max ev_hy_sat 1));
+  record_info ~unit_:"x" "traffic.saturated.event_reduction_x"
+    (float_of_int ev_pr_sat /. float_of_int (max ev_hy_sat 1));
+  (* The O(flows) -> O(epochs) gate, on the population shape the model
+     exists for: many flows, each individually slow. 10k closed-loop
+     clients with 1 s think time offer ~10k req/s; per-request that is
+     O(requests) engine events, hybrid is O(epochs) plus a 4-connection
+     tracer (~4 req/s). *)
+  let aggregation_clients = 10_000 in
+  let aggregation_horizon_s = 60.0 in
+  let run_aggregation mode =
+    let e = Simkit.Engine.create () in
+    let server =
+      Netsim.Fluid.static_server ~capacity_rps:50_000.0 ~service_time_s:0.002
+        ()
+    in
+    (* The per-request path has no separate think knob, so the request
+       closure carries the whole cycle (1 s think + 2 ms service) —
+       the same N / (Z + S) closed loop the fluid side integrates. *)
+    let request k =
+      ignore (Simkit.Engine.schedule e ~delay:1.002 (fun () -> k true))
+    in
+    let cfg =
+      {
+        Netsim.Fluid.default_config with
+        Netsim.Fluid.mode;
+        clients = aggregation_clients;
+        tracers = 4;
+        think_time_s = 1.0;
+      }
+    in
+    let load = Netsim.Fluid.create e ~config:cfg ~request ~server () in
+    Netsim.Fluid.start load;
+    Simkit.Engine.run ~until:aggregation_horizon_s e;
+    Netsim.Fluid.stop load;
+    (load, Simkit.Engine.events_processed e)
+  in
+  let (load_pr, ev_pr), wall_pr = wall_of (fun () -> run_aggregation Netsim.Fluid.Per_request) in
+  let (load_hy, ev_hy), wall_hy = wall_of (fun () -> run_aggregation Netsim.Fluid.Hybrid) in
+  let x_pr = Netsim.Fluid.throughput_between load_pr ~lo:10.0 ~hi:50.0 in
+  let x_hy = Netsim.Fluid.throughput_between load_hy ~lo:10.0 ~hi:50.0 in
+  let speedup = float_of_int ev_pr /. float_of_int (max ev_hy 1) in
+  let wall_speedup = wall_pr /. Float.max wall_hy 1e-9 in
+  pf "%d clients, 1 s think, %.0f s horizon:@." aggregation_clients
+    aggregation_horizon_s;
+  pf "  per-request %9d events  %8.2f s wall  %8.0f req/s steady@." ev_pr
+    wall_pr x_pr;
+  pf "  hybrid      %9d events  %8.2f s wall  %8.0f req/s steady@." ev_hy
+    wall_hy x_hy;
+  pf "  %.0fx fewer events, %.1fx wall-clock, steady throughput within \
+      %.2f%%@."
+    speedup wall_speedup
+    (100.0 *. Float.abs (x_hy -. x_pr) /. Float.max x_pr 1e-9);
+  record_info ~unit_:"events" "traffic.per_request.sim_events"
+    (float_of_int ev_pr);
+  record_info ~unit_:"events" "traffic.hybrid.sim_events"
+    (float_of_int ev_hy);
+  record_info ~unit_:"x" "traffic.event_reduction_x" speedup;
+  record_info ~unit_:"x" "traffic.wall_speedup_x" wall_speedup;
+  record_info "traffic.per_request.wall_s" wall_pr;
+  record_info "traffic.hybrid.wall_s" wall_hy;
+  record ~unit_:"bool" ~tolerance_pct:(Some 0.0) "traffic.speedup_ge_10x"
+    (if speedup >= 10.0 then 1.0 else 0.0);
+  (* The scale this buys: a 200-host fleet cell with 1M modeled
+     closed-loop clients per host (60 s think time, so ~16.7k req/s
+     offered per host), rolled through a full warm rejuvenation pass.
+     Per-request this would be ~10^10 events; hybrid completes in
+     seconds. *)
+  let hybrid_1m =
+    {
+      Netsim.Fluid.default_config with
+      Netsim.Fluid.mode = Netsim.Fluid.Hybrid;
+      clients = 1_000_000;
+      tracers = 4;
+      think_time_s = 60.0;
+    }
+  in
+  let (report : Rejuv.Fleet.report), wall_fleet =
+    wall_of (fun () ->
+        Rejuv.Experiment.fleet_cell ~traffic:hybrid_1m ~partitions:4
+          ~load_rate_per_s:50.0 ~seed:11 ~hosts:200 ~width:16 ~slo:0.75
+          ~strategy:(Rejuv.Wave.Reboot Rejuv.Strategy.Warm)
+          ())
+  in
+  pf "1M-client hybrid fleet (200 hosts, 4 partitions): %d waves, makespan \
+      %.0f s, lost %d/%d, SLO %s — %.2f s wall@."
+    (List.length report.Rejuv.Fleet.waves)
+    report.Rejuv.Fleet.makespan_s report.Rejuv.Fleet.lost
+    report.Rejuv.Fleet.offered
+    (if report.Rejuv.Fleet.slo_met then "met" else "MISSED")
+    wall_fleet;
+  record ~unit_:"bool" ~tolerance_pct:(Some 0.0) "traffic.fleet_1m.completed"
+    (if report.Rejuv.Fleet.offered > 0 then 1.0 else 0.0);
+  record ~unit_:"fraction" "traffic.fleet_1m.loss_ratio"
+    report.Rejuv.Fleet.loss_ratio;
+  record_info "traffic.fleet_1m.wall_s" wall_fleet
+
 let eventcore () =
   header "Event core (events/sec by queue backend and compaction)";
   let variants =
@@ -962,6 +1119,7 @@ let sections =
     ("fig8b", fig8b); ("fits", fits); ("policy", policy); ("fig9", fig9);
     ("migration", migration); ("ablation", ablation); ("cluster", cluster);
     ("fleet", fleet); ("parfleet", parfleet); ("memdyn", memdyn);
+    ("traffic", traffic);
     ("sensitivity", sensitivity); ("faults", faults);
     ("sweep", sweep); ("eventcore", eventcore); ("micro", micro);
   ]

@@ -72,6 +72,30 @@ let memdyn_arg =
               ballooning, streamed demand-paged restore); off is the exact \
               static-memory model"))
 
+let traffic_conv = enum_conv Netsim.Fluid.mode_enum
+
+let traffic_arg =
+  Arg.(
+    value
+    & opt (some traffic_conv) None
+    & info [ "traffic" ] ~docv:"MODE"
+        ~doc:
+          (enum_doc Netsim.Fluid.mode_enum
+             "Client traffic model — per-request simulates every request \
+              event-by-event, fluid integrates the whole population as a \
+              flow at rate-change epochs, hybrid carries the bulk as fluid \
+              plus a small per-request tracer cohort. Default: the \
+              experiment's own axis/default"))
+
+let clients_arg =
+  Arg.(
+    value
+    & opt (some (list int)) None
+    & info [ "clients" ] ~docv:"N,..."
+        ~doc:
+          "Client populations for the elastic_traffic grid (default \
+           10,1000,100000; per-request cells cap at 1000)")
+
 let queue_conv = enum_conv Simkit.Eventq.backend_enum
 
 let queue_arg =

@@ -131,6 +131,19 @@ let print_result id = function
           r.er_working_set r.er_disk r.er_downtime_s r.er_image_mib
           r.er_restore_lag_s)
       rows
+  | Result.Traffic rows ->
+    pf "# %s@." id;
+    pf "%-12s %9s %-8s %10s %8s %10s %10s %8s@." "traffic" "clients"
+      "strategy" "steady-rps" "outage-s" "completed" "failed" "tracer";
+    List.iter
+      (fun (r : Experiment.traffic_row) ->
+        pf "%-12s %9d %-8s %10.1f %8.1f %10d %10d %8d@."
+          (Netsim.Fluid.mode_name r.tw_mode)
+          r.tw_clients
+          (Rejuv.Strategy.id r.tw_strategy)
+          r.tw_steady_rps r.tw_outage_s r.tw_completed r.tw_failed
+          r.tw_tracer_requests)
+      rows
 
 (* --- figure commands -------------------------------------------------------- *)
 
@@ -325,14 +338,23 @@ let run_cmd =
              (warm x xend.resume) and fleet_rolling a single small warm \
              cell instead of the full grid")
   in
-  let run verbose id smoke partitions queue strategy workload memdyn csv json
-      metrics =
+  let run verbose id smoke partitions queue strategy workload memdyn traffic
+      clients csv json metrics =
     setup_logs verbose;
     Option.iter Simkit.Engine.set_default_queue queue;
     (* Fresh ambient registry so --metrics reports this run only. *)
     let registry = Obs.reset_ambient () in
     let params =
-      { Spec.default_params with smoke; partitions; strategy; workload; memdyn }
+      {
+        Spec.default_params with
+        smoke;
+        partitions;
+        strategy;
+        workload;
+        memdyn;
+        traffic;
+        clients;
+      }
     in
     let r = run_spec id params in
     print_result id r;
@@ -343,8 +365,8 @@ let run_cmd =
     Term.(
       const run $ verbose_arg $ id_arg $ smoke_arg $ Cli_args.partitions_arg
       $ Cli_args.queue_arg $ Cli_args.strategy_arg $ Cli_args.workload_arg
-      $ Cli_args.memdyn_arg $ Cli_args.csv_arg $ Cli_args.json_arg
-      $ Cli_args.metrics_arg)
+      $ Cli_args.memdyn_arg $ Cli_args.traffic_arg $ Cli_args.clients_arg
+      $ Cli_args.csv_arg $ Cli_args.json_arg $ Cli_args.metrics_arg)
 
 (* --- the parallel sweep ----------------------------------------------------- *)
 
@@ -385,15 +407,23 @@ let sweep_cmd =
       value & flag
       & info [ "metrics-only" ] ~doc:"Print runner metrics but not the data")
   in
-  let run verbose ids jobs partitions workload strategy memdyn cache_dir
-      no_cache verify quiet_results csv json metrics_out =
+  let run verbose ids jobs partitions workload strategy memdyn traffic clients
+      cache_dir no_cache verify quiet_results csv json metrics_out =
     setup_logs verbose;
     let registry = Obs.reset_ambient () in
     (* partitions is intra-run parallelism (shards of one fleet cell);
        jobs is inter-run parallelism (cells at once). They multiply, so
        crank one at a time. *)
     let params =
-      { Spec.default_params with workload; strategy; partitions; memdyn }
+      {
+        Spec.default_params with
+        workload;
+        strategy;
+        partitions;
+        memdyn;
+        traffic;
+        clients;
+      }
     in
     let cache =
       if no_cache then None else Some (Runner.Cache.create ?dir:cache_dir ())
@@ -455,9 +485,10 @@ let sweep_cmd =
     Term.(
       const run $ verbose_arg $ ids_arg $ Cli_args.jobs_arg
       $ Cli_args.partitions_arg $ Cli_args.workload_arg
-      $ Cli_args.strategy_arg $ Cli_args.memdyn_arg $ cache_dir_arg
-      $ no_cache_arg $ verify_arg $ quiet_results_arg $ Cli_args.csv_arg
-      $ Cli_args.json_arg $ Cli_args.metrics_out_arg)
+      $ Cli_args.strategy_arg $ Cli_args.memdyn_arg $ Cli_args.traffic_arg
+      $ Cli_args.clients_arg $ cache_dir_arg $ no_cache_arg $ verify_arg
+      $ quiet_results_arg $ Cli_args.csv_arg $ Cli_args.json_arg
+      $ Cli_args.metrics_out_arg)
 
 let list_cmd =
   let run () =
@@ -608,12 +639,17 @@ let fleet_cmd =
              50 req/s, overriding --hosts/--wave-width/--load")
   in
   let run verbose hosts width slo load partitions smoke wave_strategy memdyn
-      blind_dispatch metrics =
+      traffic blind_dispatch metrics =
     setup_logs verbose;
     let hosts = if smoke then 12 else hosts in
     let width = if smoke then 3 else width in
     let load = if smoke then 50.0 else load in
     let registry = Obs.reset_ambient () in
+    let traffic_cfg =
+      match traffic with
+      | None -> Netsim.Fluid.default_config
+      | Some mode -> { Netsim.Fluid.default_config with Netsim.Fluid.mode }
+    in
     let fleet =
       Rejuv.Fleet.create
         {
@@ -628,6 +664,7 @@ let fleet_cmd =
             {
               Rejuv.Fleet.Config.default.Rejuv.Fleet.Config.host with
               Rejuv.Scenario.Config.memdyn = Mem.Memdyn.default memdyn;
+              traffic = traffic_cfg;
             };
         }
     in
@@ -652,7 +689,8 @@ let fleet_cmd =
     Term.(
       const run $ verbose_arg $ hosts_arg $ width_arg $ slo_arg $ load_arg
       $ Cli_args.partitions_arg $ smoke_arg $ Cli_args.wave_strategy_arg
-      $ Cli_args.memdyn_arg $ blind_dispatch_arg $ Cli_args.metrics_arg)
+      $ Cli_args.memdyn_arg $ Cli_args.traffic_arg $ blind_dispatch_arg
+      $ Cli_args.metrics_arg)
 
 let report_cmd =
   let n_arg =

@@ -79,3 +79,62 @@ let handle_request t ?file ~rng k =
   end
 
 let requests_served t = t.served
+
+(* --- aggregate service view (fluid traffic model) ------------------------ *)
+
+let mean_doc_bytes t =
+  let n = Array.length t.docs in
+  if n = 0 then 0.0
+  else
+    Array.fold_left
+      (fun acc f -> acc +. float_of_int (Filesystem.file_bytes f))
+      0.0 t.docs
+    /. float_of_int n
+
+let service_time_s t =
+  (* No-contention cost of one request: the current page-fault tax, the
+     document read (cache-hit fraction at memory speed, the rest from
+     disk — read live, so a cold post-reboot cache shows up), the
+     per-request server CPU, and the NIC transfer at the NIC's current
+     (possibly degraded) rate. The document tree is uniform, so the
+     first document is representative. *)
+  if Array.length t.docs = 0 then fault_tax_s t +. t.response_overhead_s
+  else begin
+    let fs = Kernel.filesystem t.kernel in
+    let doc = t.docs.(0) in
+    let frac = Filesystem.cached_fraction fs doc in
+    let read =
+      (frac *. Filesystem.cached_read_time fs doc)
+      +. ((1.0 -. frac) *. Filesystem.uncached_read_time fs doc)
+    in
+    let transfer =
+      Hw.Nic.transfer_time t.nic ~bytes:(Filesystem.file_bytes doc)
+    in
+    fault_tax_s t +. read +. t.response_overhead_s +. transfer
+  end
+
+let capacity_rps t =
+  if not (Kernel.service_reachable t.kernel t.svc) then 0.0
+  else begin
+    let bytes = mean_doc_bytes t in
+    (* The wire serialises responses, so the NIC bounds saturation
+       throughput; per-request CPU bounds it when documents are tiny. *)
+    let nic_bound =
+      if bytes <= 0.0 then infinity
+      else Hw.Nic.effective_bytes_per_s t.nic /. bytes
+    in
+    let cpu_bound =
+      if t.response_overhead_s <= 0.0 then infinity
+      else 1.0 /. t.response_overhead_s
+    in
+    let cap = Float.min nic_bound cpu_bound in
+    if Float.is_finite cap then cap else 0.0
+  end
+
+let fluid_server t =
+  {
+    Netsim.Fluid.srv_is_up =
+      (fun () -> Kernel.service_reachable t.kernel t.svc);
+    srv_capacity_rps = (fun () -> capacity_rps t);
+    srv_service_time_s = (fun () -> service_time_s t);
+  }

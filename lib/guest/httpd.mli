@@ -35,3 +35,30 @@ val handle_request :
     when the response has fully left the NIC. *)
 
 val requests_served : t -> int
+
+(** {1 Aggregate service view}
+
+    The fluid traffic model ({!Netsim.Fluid}) needs the server as three
+    scalars rather than a per-request callback. All readers are
+    draw-free and track live state — reboots, streamed-restore fault
+    tax, NIC degradation — through the same components
+    {!handle_request} uses. *)
+
+val mean_doc_bytes : t -> float
+(** Mean document size over the populated tree; 0 before {!populate}. *)
+
+val service_time_s : t -> float
+(** No-contention service time of one request: current fault tax +
+    document read (cache-hit fraction at memory speed, the rest at
+    disk speed) + per-request CPU + NIC transfer at the current
+    effective rate. Reads live state, so it tracks a cold post-reboot
+    cache and streamed-restore fault tax. *)
+
+val capacity_rps : t -> float
+(** Saturation throughput: min of the NIC bound
+    (effective bytes/s over mean document size) and the CPU bound
+    (1 / response overhead); 0 while the service is unreachable or
+    nothing is populated. *)
+
+val fluid_server : t -> Netsim.Fluid.server
+(** Package the three readers as a {!Netsim.Fluid.server}. *)

@@ -74,13 +74,47 @@ let observe ?(prefix = "netsim.httperf") reg t =
       float_of_int t.ok);
   Obs.Registry.gauge reg (p ^ ".failed") (fun () -> float_of_int t.errors)
 
+let completion_times t = t.completion_times
+
+(* Completion timestamps are pushed in nondecreasing simulated-time
+   order, so window endpoints are found by binary search: repeated
+   windowed queries (bench fig8, fleet sampling) cost O(log n) each
+   instead of a full pass over every completion. *)
+
+(* Index of the first element >= [x] (n if none). *)
+let lower_bound times n x =
+  let lo = ref 0 and hi = ref n in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if Simkit.Fvec.get times mid < x then lo := mid + 1 else hi := mid
+  done;
+  !lo
+
+(* Index of the first element > [x] (n if none). *)
+let upper_bound times n x =
+  let lo = ref 0 and hi = ref n in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if Simkit.Fvec.get times mid <= x then lo := mid + 1 else hi := mid
+  done;
+  !lo
+
 let throughput_between t ~lo ~hi =
-  Simkit.Series.Counter.rate_between t.events ~lo ~hi
+  (* Same contract as [Simkit.Series.Counter.rate_between]: closed
+     interval [lo <= time <= hi], [Invalid_argument] on an empty one. *)
+  if hi <= lo then invalid_arg "Counter.rate_between: empty interval";
+  let times = t.completion_times in
+  let n = Simkit.Fvec.length times in
+  let count = upper_bound times n hi - lower_bound times n lo in
+  float_of_int count /. (hi -. lo)
 
 let mean_window_throughput t ~every =
   if every <= 0 then invalid_arg "Httperf.mean_window_throughput: every <= 0";
   let times = t.completion_times in
   let n = Simkit.Fvec.length times in
+  (* Edge cases are part of the contract (see the .mli): an empty
+     generator yields [] — never a nan-carrying sample — and the
+     trailing block is reported only when complete. *)
   if n = 0 then []
   else begin
     (* One pass over the vector — nothing is rebuilt per query. The
@@ -99,5 +133,8 @@ let mean_window_throughput t ~every =
         count := 0
       end
     done;
+    (* [!count] completions (0 <= count < every) remain in an open
+       block here; dropping them is deliberate — a partial block's
+       average would be biased low while requests are in flight. *)
     List.rev !acc
   end

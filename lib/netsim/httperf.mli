@@ -40,8 +40,20 @@ val observe : ?prefix:string -> Obs.Registry.t -> t -> unit
     ["<prefix>.<generator name>."] (default prefix
     ["netsim.httperf"]). *)
 
+val completion_times : t -> Simkit.Fvec.t
+(** Timestamps of successful completions in nondecreasing simulated
+    time — one O(1) append per request. Read-only for callers (the
+    fluid traffic layer measures outage gaps from it); mutating it
+    corrupts the throughput queries. *)
+
 val throughput_between : t -> lo:float -> hi:float -> float
-(** Completed requests per second over a window. *)
+(** Completed requests per second over the closed window
+    [lo <= time <= hi]. Binary-searches the sorted completion
+    timestamps for both endpoints, so each query is O(log
+    completions) — repeated windowed queries (bench fig8, fleet
+    sampling) no longer pay a full pass. Raises [Invalid_argument]
+    when [hi <= lo] (same contract as
+    [Simkit.Series.Counter.rate_between]). *)
 
 val mean_window_throughput :
   t -> every:int -> (float * float) list
@@ -49,4 +61,10 @@ val mean_window_throughput :
     requests, as (block end time, requests/s) — the paper's "average
     throughput of 50 requests" reporting. Completion timestamps are
     kept in a growable vector ([Simkit.Fvec]): recording is O(1) and a
-    query is one pass, with no per-query list rebuild. *)
+    query is one pass, with no per-query list rebuild.
+
+    Edge behaviour, by contract: an empty generator returns [[]] (no
+    nan-prone sentinel sample), and a trailing {e partial} block
+    (fewer than [every] completions since the last full block) is
+    dropped — its average would be biased low while requests are
+    still in flight. Raises [Invalid_argument] when [every <= 0]. *)

@@ -18,6 +18,7 @@ type t = {
   members : Scenario.t array;
   rng : Simkit.Rng.t;
   blind_dispatch : bool;
+  traffic : Netsim.Fluid.config;
   mutable next_host : int;
 }
 
@@ -45,6 +46,7 @@ let create ?engine (cfg : Config.t) =
     members;
     rng = Simkit.Rng.split (Simkit.Engine.rng eng);
     blind_dispatch = cfg.Config.blind_dispatch;
+    traffic = template.Scenario.Config.traffic;
     next_host = 0;
   }
 
@@ -105,6 +107,25 @@ let offer_load t ~rate_per_s =
   Netsim.Poisson.start gen;
   gen
 
+(* Flow split instead of per-request routing: the blind balancer sprays
+   1/hosts of the stream at every host, so a rejuvenating host loses
+   exactly its share — served fraction healthy/total. The health-aware
+   dispatcher steers whole flow shares away from the down host and only
+   loses load when no host is healthy at all. *)
+let offer_flows t ~rate_per_s =
+  let served_fraction () =
+    let h = healthy_hosts t in
+    if t.blind_dispatch then float_of_int h /. float_of_int (host_count t)
+    else if h > 0 then 1.0
+    else 0.0
+  in
+  let gen =
+    Netsim.Fluid.Open.create t.eng ~rate_per_s
+      ~epoch_s:t.traffic.Netsim.Fluid.epoch_s ~served_fraction ()
+  in
+  Netsim.Fluid.Open.start gen;
+  gen
+
 let watch_capacity t ~interval_s =
   Simkit.Sampler.start t.eng ~name:"healthy-hosts" ~interval_s
     ~gauge:(fun () -> float_of_int (healthy_hosts t))
@@ -121,7 +142,30 @@ type rolling_result = {
 
 let rolling_rejuvenation t ~strategy ?(gap_s = 20.0) ?(load_rate_per_s = 100.0)
     () =
-  let load = offer_load t ~rate_per_s:load_rate_per_s in
+  (* Traffic-mode split of the offered stream: Per_request keeps the
+     historical pure-Poisson path event-for-event ([1.0 *. rate] is
+     exact); Fluid is all aggregate; Hybrid keeps a tracer-sized
+     Poisson cohort per-request and aggregates the rest. *)
+  let per_request_fraction =
+    match t.traffic.Netsim.Fluid.mode with
+    | Netsim.Fluid.Per_request -> 1.0
+    | Netsim.Fluid.Fluid -> 0.0
+    | Netsim.Fluid.Hybrid ->
+      float_of_int t.traffic.Netsim.Fluid.tracers
+      /. float_of_int t.traffic.Netsim.Fluid.clients
+  in
+  let load =
+    if per_request_fraction > 0.0 then
+      Some (offer_load t ~rate_per_s:(load_rate_per_s *. per_request_fraction))
+    else None
+  in
+  let flows =
+    if per_request_fraction < 1.0 then
+      Some
+        (offer_flows t
+           ~rate_per_s:(load_rate_per_s *. (1.0 -. per_request_fraction)))
+    else None
+  in
   let outages = Array.make (host_count t) 0.0 in
   let t0 = Simkit.Engine.now t.eng in
   let finished = ref false in
@@ -150,12 +194,23 @@ let rolling_rejuvenation t ~strategy ?(gap_s = 20.0) ?(load_rate_per_s = 100.0)
     Simkit.Fault.fail (Simkit.Fault.Stalled "Cluster_sim.rolling_rejuvenation");
   (* Let stragglers (probes, in-flight requests) settle briefly. *)
   Simkit.Engine.run ~until:(Simkit.Engine.now t.eng +. 5.0) t.eng;
-  Netsim.Poisson.stop load;
+  Option.iter Netsim.Poisson.stop load;
+  Option.iter Netsim.Fluid.Open.stop flows;
+  let offered =
+    Option.fold ~none:0 ~some:Netsim.Poisson.offered load
+    + Option.fold ~none:0 ~some:Netsim.Fluid.Open.offered flows
+  in
+  let lost =
+    Option.fold ~none:0 ~some:Netsim.Poisson.lost load
+    + Option.fold ~none:0 ~some:Netsim.Fluid.Open.lost flows
+  in
   {
     strategy;
     total_elapsed_s = Simkit.Engine.now t.eng -. t0;
     per_host_outage_s = Array.to_list outages;
-    offered = Netsim.Poisson.offered load;
-    lost = Netsim.Poisson.lost load;
-    loss_ratio = Netsim.Poisson.loss_ratio load;
+    offered;
+    lost;
+    loss_ratio =
+      (if offered = 0 then 0.0
+       else float_of_int lost /. float_of_int offered);
   }

@@ -53,6 +53,14 @@ val offer_load : t -> rate_per_s:float -> Netsim.Poisson.t
 (** Start an open-loop client stream, dispatched round-robin across the
     hosts; a request fails iff its host is not healthy. *)
 
+val offer_flows : t -> rate_per_s:float -> Netsim.Fluid.Open.t
+(** Fluid counterpart of {!offer_load}: a flow split instead of
+    per-request routing. With [blind_dispatch] the served fraction is
+    healthy hosts / total hosts (the blind balancer keeps spraying a
+    rejuvenating host's share); health-aware dispatch steers flow
+    shares away and loses load only while {e no} host is healthy.
+    O(epochs) events and no RNG, whatever the rate. *)
+
 val watch_capacity : t -> interval_s:float -> Simkit.Sampler.t
 (** Sample the number of healthy hosts over time. *)
 
@@ -73,6 +81,13 @@ val rolling_rejuvenation :
   unit ->
   rolling_result
 (** Reboot each host in turn ([gap_s] idle time between hosts, default
-    20 s) under a Poisson load (default 100 req/s), driving the engine
-    to completion. The cluster as a whole never goes dark — only the
-    host being rejuvenated drops requests. *)
+    20 s) under load (default 100 req/s), driving the engine to
+    completion. The cluster as a whole never goes dark — only the host
+    being rejuvenated drops requests.
+
+    The host template's [traffic] mode picks the load model:
+    [Per_request] is the historical pure-Poisson stream,
+    event-for-event; [Fluid] replaces it with one {!offer_flows}
+    stream; [Hybrid] keeps a tracer-sized Poisson cohort
+    ([tracers/clients] of the rate) per-request and aggregates the
+    rest, summing both into [offered]/[lost]. *)

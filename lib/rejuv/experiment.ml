@@ -572,7 +572,8 @@ let section_5_6_fits ?(vm_counts = [ 0; 2; 4; 6; 8; 11 ]) () =
    cell's JSON (and its sweep-cache entry) is byte-identical for any
    [partitions]. *)
 let fleet_cell ?(partitions = 1) ?(load_rate_per_s = 50.0)
-    ?(memdyn = Mem.Memdyn.off) ~seed ~hosts ~width ~slo ~strategy () =
+    ?(memdyn = Mem.Memdyn.off) ?(traffic = Netsim.Fluid.default_config) ~seed
+    ~hosts ~width ~slo ~strategy () =
   let partitions =
     match (strategy : Wave.strategy) with
     | Wave.Migrate -> 1
@@ -585,7 +586,7 @@ let fleet_cell ?(partitions = 1) ?(load_rate_per_s = 50.0)
         hosts;
         wave_width = width;
         slo;
-        host = { Scenario.Config.default with seed; memdyn };
+        host = { Scenario.Config.default with seed; memdyn; traffic };
         load_rate_per_s;
         partitions;
       }
@@ -655,6 +656,134 @@ let run_elastic_cell ?seed ~workload (mode, ws, (disk_name, calibration)) =
     er_restore_lag_s = r.restore_lag_s;
   }
 
+(* --- Elastic traffic: mode x client count x strategy ---------------------- *)
+
+type traffic_row = {
+  tw_mode : Netsim.Fluid.mode;
+  tw_clients : int;
+  tw_strategy : Strategy.t;
+  tw_steady_rps : float;
+  tw_outage_s : float;
+  tw_completed : int;
+  tw_failed : int;
+  tw_tracer_requests : int;
+}
+
+(* The traffic grid: model mode x client population x reboot strategy
+   on a Figure 7-shaped cell (Web workload, reboot at t=20s under
+   closed-loop load, observe the outage and the recovery). Per-request
+   cells stop at 1000 clients — past that, per-request simulation is
+   exactly the cost this subsystem exists to avoid; fluid and hybrid
+   cells run the same populations and beyond at O(epochs). *)
+let traffic_cell_key (mode, clients, strategy) =
+  Printf.sprintf "m=%s/c=%07d/s=%s"
+    (Netsim.Fluid.mode_name mode)
+    clients (Strategy.id strategy)
+
+let traffic_grid ~smoke ~cell ~mode ~clients =
+  let modes =
+    match mode with
+    | Some m -> [ m ]
+    | None -> [ Netsim.Fluid.Per_request; Netsim.Fluid.Fluid; Netsim.Fluid.Hybrid ]
+  in
+  let counts = Option.value clients ~default:[ 10; 1000; 100_000 ] in
+  let strategies = [ Strategy.Warm; Strategy.Cold ] in
+  let all =
+    List.concat_map
+      (fun m ->
+        List.concat_map
+          (fun c ->
+            List.filter_map
+              (fun s ->
+                if m = Netsim.Fluid.Per_request && c > 1000 then None
+                else Some (m, c, s))
+              strategies)
+          counts)
+      modes
+  in
+  match cell with
+  | Some key ->
+    List.filter (fun c -> String.equal (traffic_cell_key c) key) all
+  | None ->
+    if smoke then [ (Netsim.Fluid.Hybrid, 1000, Strategy.Warm) ] else all
+
+let run_traffic_cell ?seed (mode, clients, strategy) =
+  let workload =
+    Scenario.Web
+      { file_count = 500; file_bytes = Simkit.Units.kib 512; warm_cache = true }
+  in
+  let traffic =
+    {
+      Netsim.Fluid.default_config with
+      Netsim.Fluid.mode;
+      clients;
+      tracers = Int.min clients 4;
+    }
+  in
+  let scenario =
+    Scenario.create
+      {
+        Scenario.Config.default with
+        vm_count = 2;
+        workload;
+        traffic;
+        seed =
+          Option.value seed
+            ~default:Scenario.Config.default.Scenario.Config.seed;
+      }
+  in
+  let engine = Scenario.engine scenario in
+  boot_testbed scenario;
+  let epoch = Simkit.Engine.now engine in
+  let target_vm = List.hd (Scenario.vms scenario) in
+  let rng = Scenario.rng scenario in
+  let request k =
+    match Scenario.vm_httpd target_vm with
+    | Some httpd -> Guest.Httpd.handle_request httpd ~rng k
+    | None -> k false
+  in
+  (* Server closures re-resolve the httpd through the scenario, so the
+     fluid queue follows the fresh instance a cold reboot builds. *)
+  let with_httpd f default =
+    match Scenario.vm_httpd target_vm with Some h -> f h | None -> default
+  in
+  let server =
+    {
+      Netsim.Fluid.srv_is_up = (fun () -> Scenario.vm_is_up target_vm);
+      srv_capacity_rps = (fun () -> with_httpd Guest.Httpd.capacity_rps 0.0);
+      srv_service_time_s =
+        (fun () -> with_httpd Guest.Httpd.service_time_s 0.0);
+    }
+  in
+  let load =
+    Netsim.Fluid.create engine ~name:"elastic" ~config:traffic ~request
+      ~server ()
+  in
+  Netsim.Fluid.observe (Obs.ambient ()) load;
+  Netsim.Fluid.start load;
+  let reboot_delay = 20.0 in
+  let finished = ref false in
+  ignore
+    (Simkit.Engine.schedule engine ~delay:reboot_delay (fun () ->
+         strategy_task strategy scenario (fun () -> finished := true)));
+  run_until_done engine ~flag:finished ~deadline:(epoch +. 600.0);
+  (* Observe the post-reboot recovery, then settle. *)
+  Simkit.Engine.run ~until:(Simkit.Engine.now engine +. 60.0) engine;
+  Netsim.Fluid.stop load;
+  Simkit.Engine.run ~until:(Simkit.Engine.now engine +. 5.0) engine;
+  {
+    tw_mode = mode;
+    tw_clients = clients;
+    tw_strategy = strategy;
+    tw_steady_rps =
+      Netsim.Fluid.throughput_between load ~lo:(epoch +. 5.0)
+        ~hi:(epoch +. reboot_delay);
+    tw_outage_s = Netsim.Fluid.longest_stall_s load;
+    tw_completed = Netsim.Fluid.completed load;
+    tw_failed = Netsim.Fluid.failed load;
+    tw_tracer_requests = Netsim.Fluid.tracer_requests load;
+  }
+
 (* --- Uniform results ----------------------------------------------------- *)
 
 module Result = struct
@@ -671,6 +800,7 @@ module Result = struct
     | Fault_matrix of Fault_matrix.cell list
     | Fleet of Fleet.report list
     | Elastic of elastic_row list
+    | Traffic of traffic_row list
 
   let kind = function
     | Task_times _ -> "task_times"
@@ -685,6 +815,7 @@ module Result = struct
     | Fault_matrix _ -> "fault_matrix"
     | Fleet _ -> "fleet"
     | Elastic _ -> "elastic"
+    | Traffic _ -> "traffic"
 
   let jf f = Jsonx.Float f
 
@@ -766,6 +897,19 @@ module Result = struct
         ("restore_lag_s", jf r.er_restore_lag_s);
       ]
 
+  let json_traffic (r : traffic_row) =
+    Jsonx.Obj
+      [
+        ("traffic", Jsonx.Str (Netsim.Fluid.mode_name r.tw_mode));
+        ("clients", Jsonx.Int r.tw_clients);
+        ("strategy", Jsonx.Str (Strategy.id r.tw_strategy));
+        ("steady_rps", jf r.tw_steady_rps);
+        ("outage_s", jf r.tw_outage_s);
+        ("completed", Jsonx.Int r.tw_completed);
+        ("failed", Jsonx.Int r.tw_failed);
+        ("tracer_requests", Jsonx.Int r.tw_tracer_requests);
+      ]
+
   let to_json_tree t =
     let payload =
       match t with
@@ -836,6 +980,7 @@ module Result = struct
       | Fault_matrix cells -> Jsonx.Arr (List.map json_fault_cell cells)
       | Fleet reports -> Jsonx.Arr (List.map json_fleet reports)
       | Elastic rows -> Jsonx.Arr (List.map json_elastic rows)
+      | Traffic rows -> Jsonx.Arr (List.map json_traffic rows)
     in
     Jsonx.Obj [ ("kind", Jsonx.Str (kind t)); ("data", payload) ]
 
@@ -969,6 +1114,24 @@ module Result = struct
               fl r.er_restore_lag_s;
             ])
           rows )
+    | Traffic rows ->
+      ( [
+          "traffic"; "clients"; "strategy"; "steady_rps"; "outage_s";
+          "completed"; "failed"; "tracer_requests";
+        ],
+        List.map
+          (fun (r : traffic_row) ->
+            [
+              Netsim.Fluid.mode_name r.tw_mode;
+              string_of_int r.tw_clients;
+              Strategy.id r.tw_strategy;
+              fl r.tw_steady_rps;
+              fl r.tw_outage_s;
+              string_of_int r.tw_completed;
+              string_of_int r.tw_failed;
+              string_of_int r.tw_tracer_requests;
+            ])
+          rows )
 
   (* Shard results of one experiment concatenate; scalar-like results
      only "merge" when the batch produced exactly one of them. *)
@@ -985,6 +1148,7 @@ module Result = struct
           | Fault_matrix a, Fault_matrix b -> Fault_matrix (a @ b)
           | Fleet a, Fleet b -> Fleet (a @ b)
           | Elastic a, Elastic b -> Elastic (a @ b)
+          | Traffic a, Traffic b -> Traffic (a @ b)
           | _ ->
             invalid_arg
               (Printf.sprintf "Experiment.Result.merge: cannot merge %s + %s"
@@ -1016,8 +1180,13 @@ module Spec = struct
         (* memory-dynamics mode for fig4 / fig5 / fleet_rolling; the
            other knobs stay at [Mem.Memdyn.default]. *)
     cell : string option;
-        (* pins [elastic_restore] to one grid cell (the shard key
-           suffix); [None] = the full grid. *)
+        (* pins [elastic_restore] / [elastic_traffic] to one grid cell
+           (the shard key suffix); [None] = the full grid. *)
+    traffic : Netsim.Fluid.mode option;
+        (* traffic model for [elastic_traffic] / [fleet_rolling];
+           [None] = the experiment's own default axis. *)
+    clients : int list option;
+        (* client-population axis for [elastic_traffic]. *)
   }
 
   let default_params =
@@ -1036,6 +1205,8 @@ module Spec = struct
       partitions = 1;
       memdyn = Mem.Memdyn.Off;
       cell = None;
+      traffic = None;
+      clients = None;
     }
 
   let ints_key = function
@@ -1044,7 +1215,7 @@ module Spec = struct
 
   let params_key p =
     Printf.sprintf
-      "seed=%d;workload=%s;strategy=%s;vm_counts=%s;mem_gib=%s;site=%s;smoke=%b;fleet_hosts=%s;wave_widths=%s;wave_strategy=%s;slo=%g;memdyn=%s;cell=%s"
+      "seed=%d;workload=%s;strategy=%s;vm_counts=%s;mem_gib=%s;site=%s;smoke=%b;fleet_hosts=%s;wave_widths=%s;wave_strategy=%s;slo=%g;memdyn=%s;cell=%s;traffic=%s;clients=%s"
       p.seed
       (Scenario.workload_name p.workload)
       (Strategy.id p.strategy) (ints_key p.vm_counts) (ints_key p.mem_gib)
@@ -1056,6 +1227,8 @@ module Spec = struct
       p.slo
       (Mem.Memdyn.mode_name p.memdyn)
       (Option.value p.cell ~default:"none")
+      (Option.fold ~none:"default" ~some:Netsim.Fluid.mode_name p.traffic)
+      (ints_key p.clients)
 
   type nonrec t = {
     id : string;
@@ -1298,6 +1471,11 @@ let () =
                      ~memdyn:
                        (Option.value (memdyn_of_params p)
                           ~default:Mem.Memdyn.off)
+                     ~traffic:
+                       (match p.Spec.traffic with
+                       | None -> Netsim.Fluid.default_config
+                       | Some mode ->
+                         { Netsim.Fluid.default_config with Netsim.Fluid.mode })
                      ~seed:p.Spec.seed ~hosts ~width ~slo:p.Spec.slo ~strategy
                      ())
                  (fleet_grid p)));
@@ -1325,6 +1503,28 @@ let () =
               (List.map
                  (run_elastic_cell ~seed:p.Spec.seed ~workload:p.Spec.workload)
                  (elastic_grid ~smoke:p.Spec.smoke ~cell:p.Spec.cell)));
+      };
+      {
+        Spec.id = "elastic_traffic";
+        doc =
+          "Traffic-model grid: per-request / fluid / hybrid x client \
+           population x reboot strategy on a fig7-shaped cell";
+        shards =
+          (fun p ->
+            List.map
+              (fun c ->
+                let key = traffic_cell_key c in
+                ( "elastic_traffic/" ^ key,
+                  { p with Spec.cell = Some key } ))
+              (traffic_grid ~smoke:p.Spec.smoke ~cell:p.Spec.cell
+                 ~mode:p.Spec.traffic ~clients:p.Spec.clients));
+        run =
+          (fun p ->
+            Result.Traffic
+              (List.map
+                 (run_traffic_cell ~seed:p.Spec.seed)
+                 (traffic_grid ~smoke:p.Spec.smoke ~cell:p.Spec.cell
+                    ~mode:p.Spec.traffic ~clients:p.Spec.clients)));
       };
     ]
 

@@ -167,6 +167,7 @@ val fleet_cell :
   ?partitions:int ->
   ?load_rate_per_s:float ->
   ?memdyn:Mem.Memdyn.t ->
+  ?traffic:Netsim.Fluid.config ->
   seed:int ->
   hosts:int ->
   width:int ->
@@ -179,7 +180,35 @@ val fleet_cell :
     1; Migrate cells always pin to 1) — boot it, roll one full
     rejuvenation pass. The report is byte-identical for every
     [partitions] value, so partitioning is a performance knob, not a
-    cache-key ingredient ([load_rate_per_s], default 50, {e is} one). *)
+    cache-key ingredient ([load_rate_per_s], default 50, {e is} one).
+    [traffic] (default {!Netsim.Fluid.default_config}, i.e.
+    [Per_request]) selects the client-stream model on every host — see
+    {!Fleet.Config.t}. *)
+
+(** {1 Elastic traffic: model mode x client population x strategy} *)
+
+type traffic_row = {
+  tw_mode : Netsim.Fluid.mode;
+  tw_clients : int;  (** closed-loop client population *)
+  tw_strategy : Strategy.t;
+  tw_steady_rps : float;
+      (** pre-reboot steady throughput (5 s .. 20 s after boot) *)
+  tw_outage_s : float;  (** longest zero-throughput stall *)
+  tw_completed : int;  (** modeled completions (scaled in hybrid) *)
+  tw_failed : int;  (** modeled failures through the outage *)
+  tw_tracer_requests : int;
+      (** actual per-request completions simulated (0 in pure fluid) *)
+}
+
+val traffic_cell_key : Netsim.Fluid.mode * int * Strategy.t -> string
+(** Stable shard-key suffix, e.g. ["m=hybrid/c=0001000/s=warm"]. *)
+
+val run_traffic_cell :
+  ?seed:int -> Netsim.Fluid.mode * int * Strategy.t -> traffic_row
+(** One ["elastic_traffic"] grid cell: a fig7-shaped scenario (Web
+    workload, 500 x 512 KiB warm) whose client stream runs under the
+    given {!Netsim.Fluid.mode}, rebooted at t=20 s with the given
+    strategy. *)
 
 (** {1 Uniform results}
 
@@ -206,6 +235,8 @@ module Result : sig
         (** the fleet-scale rolling-rejuvenation grid *)
     | Elastic of elastic_row list
         (** the memory-dynamics restore grid *)
+    | Traffic of traffic_row list
+        (** the traffic-model grid (["elastic_traffic"]) *)
 
   val kind : t -> string
   (** Constructor name, for dispatch and the JSON envelope. *)
@@ -229,8 +260,8 @@ end
     stable id — ["fig4"], ["fig5"], ["fig6"], ["quick_reload"],
     ["os_rejuvenation"], ["availability"], ["fig7"], ["fig8_file"],
     ["fig8_web"], ["section_5_6_fits"], ["fig9"], ["fault_matrix"],
-    ["fleet_rolling"], ["elastic_restore"] — so the CLI, the bench
-    harness and the sweep
+    ["fleet_rolling"], ["elastic_restore"], ["elastic_traffic"] — so
+    the CLI, the bench harness and the sweep
     runner can enumerate and run them uniformly. *)
 
 module Spec : sig
@@ -265,9 +296,18 @@ module Spec : sig
             path. The remaining memdyn knobs stay at
             [Mem.Memdyn.default]. *)
     cell : string option;
-        (** pins [elastic_restore] to one grid cell (the shard-key
-            suffix, e.g. ["m=stream/ws=035/d=hdd2007"]); [None] = the
-            full grid. *)
+        (** pins [elastic_restore] / [elastic_traffic] to one grid
+            cell (the shard-key suffix, e.g.
+            ["m=stream/ws=035/d=hdd2007"]); [None] = the full grid. *)
+    traffic : Netsim.Fluid.mode option;
+        (** traffic model for [elastic_traffic] (pins the mode axis)
+            and [fleet_rolling] (selects the per-host stream model);
+            [None] = the experiment default — the full mode axis for
+            [elastic_traffic], [Per_request] for [fleet_rolling]. *)
+    clients : int list option;
+        (** [elastic_traffic] client populations;
+            [None] = [[10; 1000; 100000]] (per-request cells cap at
+            1000). *)
   }
 
   val default_params : params

@@ -285,25 +285,72 @@ let run t ~strategy =
      unless dispatch is blind — when the balancer could have sent it to
      some other host that was healthy as of the last barrier. *)
   let rate = cfg.Config.load_rate_per_s /. float_of_int cfg.Config.hosts in
+  (* Traffic-mode split. [Per_request] keeps the historical Poisson
+     streams event-for-event ([rate *. 1.0] is exact). [Fluid]/[Hybrid]
+     carry the bulk as one epoch-integrated flow stream per host — no
+     RNG and O(epochs) events however many clients are modeled, which
+     is what lets a host carry 1M+ flows. When the template models an
+     explicit client population with a positive think time, each of
+     the [clients] closed-loop flows offers ~1/think requests/s;
+     otherwise the fleet's [load_rate_per_s] knob is split as before. *)
+  let traffic = cfg.Config.host.Scenario.Config.traffic in
+  let tracer_fraction =
+    match traffic.Netsim.Fluid.mode with
+    | Netsim.Fluid.Per_request -> 1.0
+    | Netsim.Fluid.Fluid -> 0.0
+    | Netsim.Fluid.Hybrid ->
+      float_of_int traffic.Netsim.Fluid.tracers
+      /. float_of_int traffic.Netsim.Fluid.clients
+  in
+  let host_rate =
+    if traffic.Netsim.Fluid.mode = Netsim.Fluid.Per_request then rate
+    else if traffic.Netsim.Fluid.think_time_s > 0.0 then
+      float_of_int traffic.Netsim.Fluid.clients
+      /. traffic.Netsim.Fluid.think_time_s
+    else rate
+  in
+  let host_served c () =
+    if host_healthy c || ((not cfg.Config.blind_dispatch) && c.redirect_ok)
+    then 1.0
+    else 0.0
+  in
   let gens =
     Array.map
       (fun c ->
-        Netsim.Poisson.create
-          (Scenario.engine c.node)
-          ~name:(Printf.sprintf "fleet-load-%d" (c.idx + 1))
-          ~rate_per_s:rate
-          ~rng:
-            (Simkit.Rng.create
-               ((cfg.Config.host.Scenario.Config.seed * 1_000_003)
-               + c.idx + 1))
-          ~request:(fun k ->
-            k
-              (host_healthy c
-              || ((not cfg.Config.blind_dispatch) && c.redirect_ok)))
-          ())
+        if tracer_fraction <= 0.0 then None
+        else
+          Some
+            (Netsim.Poisson.create
+               (Scenario.engine c.node)
+               ~name:(Printf.sprintf "fleet-load-%d" (c.idx + 1))
+               ~rate_per_s:(host_rate *. tracer_fraction)
+               ~rng:
+                 (Simkit.Rng.create
+                    ((cfg.Config.host.Scenario.Config.seed * 1_000_003)
+                    + c.idx + 1))
+               ~request:(fun k ->
+                 k
+                   (host_healthy c
+                   || ((not cfg.Config.blind_dispatch) && c.redirect_ok)))
+               ()))
       t.members
   in
-  Array.iter Netsim.Poisson.start gens;
+  let flow_gens =
+    Array.map
+      (fun c ->
+        if tracer_fraction >= 1.0 then None
+        else
+          Some
+            (Netsim.Fluid.Open.create
+               (Scenario.engine c.node)
+               ~rate_per_s:(host_rate *. (1.0 -. tracer_fraction))
+               ~epoch_s:traffic.Netsim.Fluid.epoch_s
+               ~served_fraction:(host_served c)
+               ()))
+      t.members
+  in
+  Array.iter (Option.iter Netsim.Poisson.start) gens;
+  Array.iter (Option.iter Netsim.Fluid.Open.start) flow_gens;
   let t0 = Simkit.Par_engine.last_quantum t.par in
   let min_healthy = ref (healthy_hosts t) in
   let healthy_sum = ref 0.0 in
@@ -464,15 +511,25 @@ let run t ~strategy =
   (* Let probes and in-flight requests settle, then stop the plumbing. *)
   let settled = !end_q +. 5.0 in
   Simkit.Par_engine.run t.par ~until:settled;
-  Array.iter Netsim.Poisson.stop gens;
+  Array.iter (Option.iter Netsim.Poisson.stop) gens;
+  Array.iter (Option.iter Netsim.Fluid.Open.stop) flow_gens;
   let mean_healthy =
     if !healthy_n = 0 then float_of_int (healthy_hosts t)
     else !healthy_sum /. float_of_int !healthy_n
   in
-  let offered =
-    Array.fold_left (fun n g -> n + Netsim.Poisson.offered g) 0 gens
+  let sum_over arr f =
+    Array.fold_left
+      (fun n g -> n + Option.fold ~none:0 ~some:f g)
+      0 arr
   in
-  let lost = Array.fold_left (fun n g -> n + Netsim.Poisson.lost g) 0 gens in
+  let offered =
+    sum_over gens Netsim.Poisson.offered
+    + sum_over flow_gens Netsim.Fluid.Open.offered
+  in
+  let lost =
+    sum_over gens Netsim.Poisson.lost
+    + sum_over flow_gens Netsim.Fluid.Open.lost
+  in
   {
     fr_strategy = strategy;
     hosts = cfg.Config.hosts;

@@ -45,7 +45,19 @@ module Config : sig
     slo : float;
         (** fraction of hosts that must stay healthy; default 0.7 *)
     gap_s : float;  (** idle time between waves; default 10 s *)
-    load_rate_per_s : float;  (** Poisson client stream; default 200 req/s *)
+    load_rate_per_s : float;
+        (** client stream offered across the fleet; default 200 req/s.
+            With [host.traffic] mode [Per_request] this is the
+            historical per-host Poisson split. [Fluid]/[Hybrid] carry
+            the bulk as one epoch-integrated flow stream per host
+            ({!Netsim.Fluid.Open}) — O(epochs) events and no RNG, so a
+            host can model 1M+ flows; when [host.traffic] has a
+            positive think time the per-host rate becomes
+            [clients / think_time_s] (each closed-loop flow offers
+            ~1/think req/s), otherwise this knob split as before.
+            [Hybrid] additionally keeps a tracer-sized Poisson cohort
+            per-request, seeded exactly like the per-request
+            streams. *)
     blind_dispatch : bool;
         (** health-oblivious dispatch (see {!Cluster_sim.Config}) *)
     sample_interval_s : float;  (** capacity sampling period; default 5 s *)

@@ -194,6 +194,7 @@ module Config = struct
     engine : Simkit.Engine.t option;
     plan : Simkit.Fault.Plan.t option;
     memdyn : Mem.Memdyn.t;
+    traffic : Netsim.Fluid.config;
   }
 
   let default = (* simlint: allow D011 immutable template; engine and plan are None here *)
@@ -208,6 +209,7 @@ module Config = struct
       engine = None;
       plan = None;
       memdyn = Mem.Memdyn.off;
+      traffic = Netsim.Fluid.default_config;
     }
 
   let with_vms ?mem_bytes vm_count t =
@@ -224,6 +226,10 @@ module Config = struct
   let with_prefix name_prefix t = { t with name_prefix }
   let on_engine engine t = { t with engine = Some engine }
   let with_memdyn memdyn t = { t with memdyn }
+  let with_traffic traffic t = { t with traffic }
+
+  let with_traffic_mode mode t =
+    { t with traffic = { t.traffic with Netsim.Fluid.mode } }
 end
 
 let create (cfg : Config.t) =
@@ -238,6 +244,7 @@ let create (cfg : Config.t) =
     engine;
     plan;
     memdyn;
+    traffic = _;
   } =
     cfg
   in

@@ -79,6 +79,13 @@ module Config : sig
             VM on this host; default {!Mem.Memdyn.off}, which is
             behaviourally invisible. The scenario seed is folded into
             [memdyn.seed] at {!create}. *)
+    traffic : Netsim.Fluid.config;
+        (** traffic model for load offered against this host; default
+            {!Netsim.Fluid.default_config} ([Per_request]), which is
+            behaviourally identical to the historical per-request
+            path. Consumed by {!Cluster_sim}, [Fleet] and the traffic
+            experiments — the scenario itself schedules nothing for
+            it. *)
   }
 
   val default : t
@@ -91,6 +98,10 @@ module Config : sig
   val with_prefix : string -> t -> t
   val on_engine : Simkit.Engine.t -> t -> t
   val with_memdyn : Mem.Memdyn.t -> t -> t
+  val with_traffic : Netsim.Fluid.config -> t -> t
+
+  val with_traffic_mode : Netsim.Fluid.mode -> t -> t
+  (** Override only the mode, keeping the other traffic knobs. *)
 end
 
 val create : Config.t -> t
